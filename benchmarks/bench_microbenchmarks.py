@@ -1,0 +1,100 @@
+"""Supplementary microbenchmarks (not tied to a paper table).
+
+Raw throughput of the building blocks every experiment rests on: the
+differ, edit-script application, commit cost with indexes attached, FTI
+lookups + structural join, and snapshot reconstruction.  These give the
+wall-clock context for the logical-I/O numbers in E1–E11.
+"""
+
+import pytest
+
+from repro.diff import apply_script, diff
+from repro.index import TemporalFullTextIndex
+from repro.model.identifiers import XIDAllocator
+from repro.operators import TPatternScan
+from repro.pattern import Pattern
+from repro.storage import TemporalDocumentStore
+from repro.workload import TDocGenerator, build_collection
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    generator = TDocGenerator(seed=99, depth=4, fanout=(3, 5))
+    old = generator.document("bench.xml")
+    allocator = XIDAllocator()
+    from repro.model.versioned import stamp_new_nodes
+
+    stamp_new_nodes(old, allocator, 100)
+    new = generator.evolve("bench.xml")
+    return old, new, allocator
+
+
+def test_diff_throughput(benchmark, corpus):
+    old, new, allocator = corpus
+
+    def compute():
+        fresh = new.copy()
+        for node in fresh.iter():
+            node.xid = None
+            node.tstamp = None
+        return diff(old, fresh, XIDAllocator(allocator.next_xid), 200)
+
+    script = benchmark(compute)
+    assert not script.is_empty
+
+
+def test_apply_throughput(benchmark, corpus):
+    old, new, allocator = corpus
+    fresh = new.copy()
+    for node in fresh.iter():
+        node.xid = None
+        node.tstamp = None
+    script = diff(old, fresh, XIDAllocator(allocator.next_xid), 200)
+
+    result = benchmark(lambda: apply_script(old.copy(), script))
+    assert result.equals_deep(fresh)
+
+
+def test_commit_with_indexes(benchmark):
+    """End-to-end update cost: diff + storage + FTI reconciliation."""
+    generator = TDocGenerator(seed=7)
+    trees = generator.version_sequence("d.xml", 40)
+
+    def run():
+        store = TemporalDocumentStore()
+        store.subscribe(TemporalFullTextIndex())
+        store.put("d.xml", trees[0].copy())
+        for tree in trees[1:]:
+            store.update("d.xml", tree.copy())
+        return store
+
+    store = benchmark(run)
+    assert store.delta_index("d.xml").current_number == 40
+
+
+def test_pattern_scan_latency(benchmark):
+    store = TemporalDocumentStore()
+    fti = store.subscribe(TemporalFullTextIndex())
+    generator = TDocGenerator(seed=21)
+    build_collection(store, n_docs=10, versions_per_doc=6,
+                     generator=generator)
+    word = generator.vocab.common(1)[0]
+    pattern = Pattern.from_path("//item", value=word)
+    ts = store.clock.now()
+
+    matches = benchmark(
+        lambda: TPatternScan(fti, pattern, ts, store=store).run()
+    )
+    assert isinstance(matches, list)
+
+
+def test_reconstruction_latency(benchmark):
+    store = TemporalDocumentStore()
+    generator = TDocGenerator(seed=5)
+    trees = generator.version_sequence("d.xml", 30)
+    store.put("d.xml", trees[0])
+    for tree in trees[1:]:
+        store.update("d.xml", tree)
+
+    oldest = benchmark(lambda: store.version("d.xml", 1))
+    assert oldest is not None

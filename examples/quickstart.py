@@ -1,0 +1,55 @@
+"""Quickstart: a temporal XML database in twenty lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TemporalXMLDatabase
+
+
+def main():
+    db = TemporalXMLDatabase()
+    ts = db.ts  # "dd/mm/yyyy" -> timestamp
+
+    # Commit three versions of a document at known transaction times.
+    db.put("inventory.xml", "<inv><item><sku>A1</sku><qty>10</qty></item></inv>",
+           ts=ts("01/03/2001"))
+    db.update("inventory.xml",
+              "<inv><item><sku>A1</sku><qty>7</qty></item>"
+              "<item><sku>B2</sku><qty>4</qty></item></inv>",
+              ts=ts("05/03/2001"))
+    db.update("inventory.xml",
+              "<inv><item><sku>B2</sku><qty>9</qty></item></inv>",
+              ts=ts("09/03/2001"))
+
+    # A snapshot query: what did the inventory look like on March 6th?
+    print("-- snapshot at 06/03/2001")
+    result = db.query(
+        'SELECT I/sku, I/qty FROM doc("inventory.xml")[06/03/2001]/item I'
+    )
+    print(result)
+
+    # The whole history of item quantities, with version timestamps.
+    print("\n-- full history")
+    result = db.query(
+        'SELECT TIME(I), I/sku, I/qty FROM doc("inventory.xml")[EVERY]/item I'
+    )
+    print(result)
+
+    # When did item A1 disappear?  (DELETE TIME over any version of it.)
+    print("\n-- lifespan of A1")
+    result = db.query(
+        'SELECT CREATE TIME(I), DELETE TIME(I) '
+        'FROM doc("inventory.xml")[05/03/2001]/item I WHERE I/sku = "A1"'
+    )
+    print(result)
+
+    # Results are XML, in the paper's <results>/<result> envelope.
+    print("\n-- XML envelope of the snapshot query")
+    result = db.query(
+        'SELECT I FROM doc("inventory.xml")[06/03/2001]/item I'
+    )
+    print(result.to_xml_string())
+
+
+if __name__ == "__main__":
+    main()

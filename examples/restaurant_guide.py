@@ -1,0 +1,85 @@
+"""The paper's running example: the restaurant guide of Figure 1.
+
+Reproduces Section 5's query-language walkthrough and Section 6.2's
+example queries Q1-Q3, plus the Section 7.4 price-increase query in its
+three equality flavours.
+
+Run:  python examples/restaurant_guide.py
+"""
+
+from repro import TemporalXMLDatabase
+from repro.workload import load_figure1
+
+
+def main():
+    db = TemporalXMLDatabase()
+    load_figure1(db)  # guide.com on 01/01, 15/01, and 31/01/2001
+
+    print("== Q1: all restaurants as of 26/01/2001 (TPatternScan + Reconstruct)")
+    print(
+        db.query(
+            'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R'
+        ).to_xml_string()
+    )
+
+    print("\n== Q2: number of restaurants at 26/01/2001 (no reconstruction!)")
+    repo = db.store.repository
+    repo.delta_reads = 0
+    result = db.query(
+        'SELECT SUM(R) FROM doc("guide.com")[26/01/2001]/restaurant R'
+    )
+    print(f"count = {result.scalar()}   (delta reads: {repo.delta_reads})")
+
+    print("\n== Q3: price history of Napoli (TPatternScanAll)")
+    print(
+        db.query(
+            'SELECT TIME(R), R/price '
+            'FROM doc("guide.com")[EVERY]/restaurant R '
+            'WHERE R/name="Napoli"'
+        )
+    )
+
+    print("\n== restaurants cheaper than $14 right now")
+    print(
+        db.query(
+            'SELECT R FROM doc("guide.com")/restaurant R WHERE R/price < 14'
+        )
+    )
+
+    print("\n== elements created after 11/01/2001")
+    print(
+        db.query(
+            'SELECT DISTINCT R/name '
+            'FROM doc("guide.com")[EVERY]/restaurant R '
+            "WHERE CREATE TIME(R) >= 11/01/2001"
+        )
+    )
+
+    print("\n== what changed in Napoli's entry since the previous version?")
+    print(
+        db.query(
+            'SELECT DIFF(PREVIOUS(R), R) FROM doc("guide.com")/restaurant R'
+        ).to_xml_string()
+    )
+
+    print("\n== Section 7.4: who increased prices since 10/01/2001?")
+    for operator, description in (
+        ("R1/name = R2/name", "value equality on names (ambiguous)"),
+        ("R1 == R2", "persistent identity (EIDs)"),
+        ("R1 ~ R2", "similarity operator"),
+    ):
+        result = db.query(
+            'SELECT R1/name FROM doc("guide.com")[10/01/2001]/restaurant R1, '
+            'doc("guide.com")/restaurant R2 '
+            f"WHERE {operator} AND R1/price < R2/price"
+        )
+        names = [
+            value.node.text_content()
+            for row in result
+            for value in row["R1/name"]
+        ]
+        print(f"  {description:40s} -> {names}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""Measurement utilities shared by the benchmark suite.
+
+The paper argues in *logical* I/O (delta reads, seeks, postings scanned),
+so every benchmark reports those alongside wall-clock time.
+:class:`CostMeter` snapshots all relevant counters around a code region;
+:class:`Table` prints the rows/series each benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Measurement:
+    """Costs of one measured region."""
+
+    wall_ms: float = 0.0
+    seeks: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    delta_reads: int = 0
+    snapshot_reads: int = 0
+    current_reads: int = 0
+    version_reads: int = 0  # stratum full-version reads
+    postings_scanned: int = 0
+    lookups: int = 0
+
+    def estimated_io_ms(self, seek_ms=8.0, page_ms=0.1):
+        return self.seeks * seek_ms + (
+            self.pages_read + self.pages_written
+        ) * page_ms
+
+    def as_dict(self):
+        return {
+            "wall_ms": round(self.wall_ms, 3),
+            "seeks": self.seeks,
+            "pages_read": self.pages_read,
+            "delta_reads": self.delta_reads,
+            "snapshot_reads": self.snapshot_reads,
+            "current_reads": self.current_reads,
+            "version_reads": self.version_reads,
+            "postings_scanned": self.postings_scanned,
+        }
+
+
+class CostMeter:
+    """Context manager capturing disk/repository/index counter deltas.
+
+    >>> meter = CostMeter(store=store, indexes=[fti])     # doctest: +SKIP
+    >>> with meter.measure() as m:                         # doctest: +SKIP
+    ...     run_query()
+    >>> m.result.delta_reads                               # doctest: +SKIP
+    """
+
+    def __init__(self, store=None, stratum=None, indexes=()):
+        self.store = store
+        self.stratum = stratum
+        self.indexes = list(indexes)
+
+    def _capture(self):
+        state = {}
+        if self.store is not None:
+            disk = self.store.disk.snapshot()
+            repo = self.store.repository
+            state["store"] = (
+                disk,
+                repo.delta_reads,
+                repo.snapshot_reads,
+                repo.current_reads,
+            )
+        if self.stratum is not None:
+            state["stratum"] = (
+                self.stratum.disk.snapshot(),
+                self.stratum.version_reads,
+            )
+        state["indexes"] = [
+            (index.stats.lookups, index.stats.postings_scanned)
+            for index in self.indexes
+        ]
+        return state
+
+    def measure(self):
+        return _Region(self)
+
+
+class _Region:
+    def __init__(self, meter):
+        self._meter = meter
+        self.result = None
+
+    def __enter__(self):
+        self._before = self._meter._capture()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        wall_ms = (time.perf_counter() - self._t0) * 1000.0
+        after = self._meter._capture()
+        before = self._before
+        measurement = Measurement(wall_ms=wall_ms)
+        if "store" in after:
+            disk_after, dr_a, sr_a, cr_a = after["store"]
+            disk_before, dr_b, sr_b, cr_b = before["store"]
+            diff = disk_after - disk_before
+            measurement.seeks += diff.seeks
+            measurement.pages_read += diff.pages_read
+            measurement.pages_written += diff.pages_written
+            measurement.delta_reads = dr_a - dr_b
+            measurement.snapshot_reads = sr_a - sr_b
+            measurement.current_reads = cr_a - cr_b
+        if "stratum" in after:
+            disk_after, vr_a = after["stratum"]
+            disk_before, vr_b = before["stratum"]
+            diff = disk_after - disk_before
+            measurement.seeks += diff.seeks
+            measurement.pages_read += diff.pages_read
+            measurement.pages_written += diff.pages_written
+            measurement.version_reads = vr_a - vr_b
+        for (lk_a, ps_a), (lk_b, ps_b) in zip(
+            after["indexes"], before["indexes"]
+        ):
+            measurement.lookups += lk_a - lk_b
+            measurement.postings_scanned += ps_a - ps_b
+        self.result = measurement
+        return False
+
+
+@dataclass
+class Table:
+    """A printable result table (the "rows/series the paper reports")."""
+
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add(self, *values):
+        self.rows.append([_fmt(v) for v in values])
+
+    def note(self, text):
+        self.notes.append(text)
+
+    def render(self):
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def echo(self):
+        print()
+        print(self.render())
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.3f}" if value < 100 else f"{value:.1f}"
+    return str(value)

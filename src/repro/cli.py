@@ -1,0 +1,206 @@
+"""Command-line interface: a temporal XML database in a file.
+
+The archive format of :mod:`repro.storage.persistence` makes the library
+usable as a tiny temporal document database from the shell::
+
+    python -m repro demo
+    python -m repro put     -a db.xml guide.com guide_v1.xml --ts 01/01/2001
+    python -m repro update  -a db.xml guide.com guide_v2.xml --ts 15/01/2001
+    python -m repro query   -a db.xml 'SELECT R FROM doc("guide.com")[EVERY]/restaurant R'
+    python -m repro explain -a db.xml 'SELECT ...'
+    python -m repro history -a db.xml guide.com
+    python -m repro delete  -a db.xml guide.com --ts 05/02/2001
+
+Mutating commands load the archive, apply the commit, and save it back;
+``put`` creates the archive when it does not exist yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .clock import format_timestamp, parse_date
+from .db import TemporalXMLDatabase
+from .errors import TemporalXMLError
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal XML database (Nørvåg, EDBT 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the paper's Figure 1 walkthrough")
+    demo.set_defaults(handler=_cmd_demo)
+
+    def with_archive(cmd, help_text):
+        p = sub.add_parser(cmd, help=help_text)
+        p.add_argument("-a", "--archive", required=True,
+                       help="archive file (XML)")
+        return p
+
+    query = with_archive("query", "run a TXQL query")
+    query.add_argument("text", help="the TXQL query")
+    query.add_argument("--xml", action="store_true",
+                       help="print the <results> envelope instead of a table")
+    query.set_defaults(handler=_cmd_query)
+
+    explain = with_archive("explain", "show the plan for a TXQL query")
+    explain.add_argument("text", help="the TXQL query")
+    explain.set_defaults(handler=_cmd_explain)
+
+    put = with_archive("put", "create a document from an XML file")
+    put.add_argument("name", help="document name")
+    put.add_argument("file", help="XML source file")
+    put.add_argument("--ts", help="commit time (dd/mm/yyyy)")
+    put.set_defaults(handler=_cmd_put)
+
+    update = with_archive("update", "commit a new version from an XML file")
+    update.add_argument("name")
+    update.add_argument("file")
+    update.add_argument("--ts")
+    update.set_defaults(handler=_cmd_update)
+
+    delete = with_archive("delete", "logically delete a document")
+    delete.add_argument("name")
+    delete.add_argument("--ts")
+    delete.set_defaults(handler=_cmd_delete)
+
+    history = with_archive("history", "list a document's versions")
+    history.add_argument("name")
+    history.set_defaults(handler=_cmd_history)
+
+    docs = with_archive("ls", "list documents in the archive")
+    docs.set_defaults(handler=_cmd_ls)
+    return parser
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except TemporalXMLError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+
+# -- command handlers -----------------------------------------------------------
+
+
+def _open(args, must_exist=True):
+    if os.path.exists(args.archive):
+        return TemporalXMLDatabase.load(args.archive)
+    if must_exist:
+        raise FileNotFoundError(f"archive {args.archive!r} does not exist")
+    return TemporalXMLDatabase()
+
+
+def _ts(args):
+    return parse_date(args.ts) if getattr(args, "ts", None) else None
+
+
+def _cmd_demo(args, out):
+    from .workload import load_figure1
+
+    db = TemporalXMLDatabase()
+    load_figure1(db)
+    print("Figure 1 loaded: guide.com on 01/01, 15/01, 31/01/2001\n", file=out)
+    for title, text in (
+        ("Q1: restaurants as of 26/01/2001",
+         'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R'),
+        ("Q2: how many restaurants then?",
+         'SELECT SUM(R) FROM doc("guide.com")[26/01/2001]/restaurant R'),
+        ("Q3: Napoli's price history",
+         'SELECT TIME(R), R/price FROM doc("guide.com")[EVERY]/restaurant R'
+         ' WHERE R/name="Napoli"'),
+    ):
+        print(f"== {title}", file=out)
+        print(f"   {text}", file=out)
+        print(db.query(text), file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_query(args, out):
+    db = _open(args)
+    result = db.query(args.text)
+    if args.xml:
+        print(result.to_xml_string(), file=out)
+    else:
+        print(result, file=out)
+    return 0
+
+
+def _cmd_explain(args, out):
+    db = _open(args)
+    print(db.engine.explain_text(args.text), file=out)
+    return 0
+
+
+def _cmd_put(args, out):
+    db = _open(args, must_exist=False)
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    doc_id = db.put(args.name, source, ts=_ts(args))
+    db.save(args.archive)
+    print(f"created {args.name} (doc id {doc_id})", file=out)
+    return 0
+
+
+def _cmd_update(args, out):
+    db = _open(args)
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    number = db.update(args.name, source, ts=_ts(args))
+    db.save(args.archive)
+    print(f"committed version {number} of {args.name}", file=out)
+    return 0
+
+
+def _cmd_delete(args, out):
+    db = _open(args)
+    db.delete(args.name, ts=_ts(args))
+    db.save(args.archive)
+    print(f"deleted {args.name}", file=out)
+    return 0
+
+
+def _cmd_history(args, out):
+    db = _open(args)
+    dindex = db.store.delta_index(args.name)
+    for entry in dindex.entries:
+        flags = []
+        if entry.has_snapshot:
+            flags.append("snapshot")
+        if entry.number == dindex.current_number and not dindex.is_deleted:
+            flags.append("current")
+        suffix = f"  ({', '.join(flags)})" if flags else ""
+        print(
+            f"v{entry.number}  {format_timestamp(entry.timestamp)}{suffix}",
+            file=out,
+        )
+    if dindex.is_deleted:
+        print(f"deleted at {format_timestamp(dindex.deleted_at)}", file=out)
+    return 0
+
+
+def _cmd_ls(args, out):
+    db = _open(args)
+    for name in db.documents(include_deleted=True):
+        dindex = db.store.delta_index(name)
+        state = (
+            f"deleted {format_timestamp(dindex.deleted_at)}"
+            if dindex.is_deleted
+            else "live"
+        )
+        print(f"{name}  {len(dindex)} versions  {state}", file=out)
+    return 0

@@ -1,0 +1,275 @@
+"""Transaction-time infrastructure: timestamps, clocks, and time arithmetic.
+
+The paper models transaction time as an abstract, totally ordered domain.  We
+represent timestamps as integers counting **seconds since the Unix epoch**,
+which gives us three things for free:
+
+* calendar literals from the paper (``26/01/2001``) convert losslessly,
+* interval arithmetic (``NOW - 14 DAYS``) is plain integer arithmetic,
+* a deterministic :class:`LogicalClock` can hand out strictly increasing
+  commit times for tests and benchmarks without touching the wall clock.
+
+Two sentinels structure the validity intervals used throughout the library:
+
+``UNTIL_CHANGED`` (aka *forever*)
+    Upper bound of the current version's validity interval ``[t, UC)``.
+
+``BEFORE_TIME``
+    A timestamp strictly smaller than every real timestamp; convenient as the
+    lower bound of history scans.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .errors import TimeError
+
+#: Type alias documenting intent; timestamps are plain ints (seconds).
+Timestamp = int
+
+#: Exclusive upper bound for the open-ended "still current" interval.
+UNTIL_CHANGED: Timestamp = 2**62
+
+#: Strictly before any representable real time.
+BEFORE_TIME: Timestamp = -(2**62)
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 60 * SECONDS_PER_MINUTE
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+#: Interval units accepted by :func:`interval_seconds` (and the TXQL parser).
+INTERVAL_UNITS = {
+    "SECOND": 1,
+    "SECONDS": 1,
+    "MINUTE": SECONDS_PER_MINUTE,
+    "MINUTES": SECONDS_PER_MINUTE,
+    "HOUR": SECONDS_PER_HOUR,
+    "HOURS": SECONDS_PER_HOUR,
+    "DAY": SECONDS_PER_DAY,
+    "DAYS": SECONDS_PER_DAY,
+    "WEEK": SECONDS_PER_WEEK,
+    "WEEKS": SECONDS_PER_WEEK,
+}
+
+_DATE_RE = re.compile(
+    r"^(?P<day>\d{1,2})/(?P<month>\d{1,2})/(?P<year>\d{4})"
+    r"(?:[ T](?P<hour>\d{1,2}):(?P<minute>\d{2})(?::(?P<second>\d{2}))?)?$"
+)
+
+_DAYS_PER_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _is_leap(year):
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def _days_in_month(year, month):
+    if month == 2 and _is_leap(year):
+        return 29
+    return _DAYS_PER_MONTH[month - 1]
+
+
+def _days_since_epoch(year, month, day):
+    """Day count from 1970-01-01 using the proleptic Gregorian calendar."""
+    days = 0
+    if year >= 1970:
+        for y in range(1970, year):
+            days += 366 if _is_leap(y) else 365
+    else:
+        for y in range(year, 1970):
+            days -= 366 if _is_leap(y) else 365
+    for m in range(1, month):
+        days += _days_in_month(year, m)
+    return days + (day - 1)
+
+
+def parse_date(text):
+    """Parse a paper-style date literal (``dd/mm/yyyy[ hh:mm[:ss]]``).
+
+    Returns the timestamp (seconds since epoch, UTC).  Raises
+    :class:`~repro.errors.TimeError` on malformed or out-of-range input.
+
+    >>> parse_date("26/01/2001") == parse_date("26/01/2001 00:00")
+    True
+    """
+    match = _DATE_RE.match(text.strip())
+    if match is None:
+        raise TimeError(f"malformed date literal: {text!r}")
+    day = int(match.group("day"))
+    month = int(match.group("month"))
+    year = int(match.group("year"))
+    if not 1 <= month <= 12:
+        raise TimeError(f"month out of range in date literal: {text!r}")
+    if not 1 <= day <= _days_in_month(year, month):
+        raise TimeError(f"day out of range in date literal: {text!r}")
+    hour = int(match.group("hour") or 0)
+    minute = int(match.group("minute") or 0)
+    second = int(match.group("second") or 0)
+    if hour > 23 or minute > 59 or second > 59:
+        raise TimeError(f"time of day out of range in date literal: {text!r}")
+    return (
+        _days_since_epoch(year, month, day) * SECONDS_PER_DAY
+        + hour * SECONDS_PER_HOUR
+        + minute * SECONDS_PER_MINUTE
+        + second
+    )
+
+
+def format_timestamp(ts):
+    """Render a timestamp back into the paper's ``dd/mm/yyyy[ hh:mm:ss]`` form.
+
+    The two sentinels render as ``"UC"`` and ``"-inf"``.
+    """
+    if ts >= UNTIL_CHANGED:
+        return "UC"
+    if ts <= BEFORE_TIME:
+        return "-inf"
+    days, rem = divmod(ts, SECONDS_PER_DAY)
+    year = 1970
+    while True:
+        year_days = 366 if _is_leap(year) else 365
+        if days >= year_days:
+            days -= year_days
+            year += 1
+        elif days < 0:
+            year -= 1
+            days += 366 if _is_leap(year) else 365
+        else:
+            break
+    month = 1
+    while days >= _days_in_month(year, month):
+        days -= _days_in_month(year, month)
+        month += 1
+    day = days + 1
+    hour, rem = divmod(rem, SECONDS_PER_HOUR)
+    minute, second = divmod(rem, SECONDS_PER_MINUTE)
+    text = f"{day:02d}/{month:02d}/{year:04d}"
+    if hour or minute or second:
+        text += f" {hour:02d}:{minute:02d}:{second:02d}"
+    return text
+
+
+def interval_seconds(amount, unit):
+    """Convert ``(amount, unit)`` (e.g. ``(14, "DAYS")``) to seconds."""
+    try:
+        scale = INTERVAL_UNITS[unit.upper()]
+    except KeyError:
+        raise TimeError(f"unknown interval unit: {unit!r}") from None
+    return amount * scale
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open validity interval ``[start, end)`` in transaction time.
+
+    ``end == UNTIL_CHANGED`` means the interval is still current.  Intervals
+    are immutable value objects; all algebra below returns new instances.
+    """
+
+    start: Timestamp
+    end: Timestamp
+
+    def __post_init__(self):
+        if self.start >= self.end:
+            raise TimeError(
+                f"empty or inverted interval [{self.start}, {self.end})"
+            )
+
+    def contains(self, ts):
+        """True if ``ts`` falls inside ``[start, end)``."""
+        return self.start <= ts < self.end
+
+    def overlaps(self, other):
+        """True if the two half-open intervals share at least one instant."""
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other):
+        """Intersection interval, or ``None`` if disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+    def meets(self, other):
+        """True if ``self`` ends exactly where ``other`` starts."""
+        return self.end == other.start
+
+    def merge(self, other):
+        """Union of two overlapping or adjacent intervals.
+
+        Raises :class:`~repro.errors.TimeError` when the union would not be a
+        single interval.
+        """
+        if not (self.overlaps(other) or self.meets(other) or other.meets(self)):
+            raise TimeError("cannot merge disjoint, non-adjacent intervals")
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    @property
+    def is_current(self):
+        """True if the interval extends to *until changed*."""
+        return self.end >= UNTIL_CHANGED
+
+    def __str__(self):
+        return f"[{format_timestamp(self.start)}, {format_timestamp(self.end)})"
+
+
+def coalesce(intervals):
+    """Merge a collection of intervals into maximal disjoint intervals.
+
+    The classic temporal-database *coalescing* step (the paper mentions it as
+    the extra operator a valid-time variant would need).  Output is sorted by
+    start time.
+
+    >>> [str(i.start) + ".." + str(i.end) for i in coalesce(
+    ...     [Interval(5, 7), Interval(1, 3), Interval(3, 6)])]
+    ['1..7']
+    """
+    merged = []
+    for interval in sorted(intervals):
+        if merged and interval.start <= merged[-1].end:
+            if interval.end > merged[-1].end:
+                merged[-1] = Interval(merged[-1].start, interval.end)
+        else:
+            merged.append(interval)
+    return merged
+
+
+class LogicalClock:
+    """A deterministic transaction-time source.
+
+    The store asks the clock for a commit time on every update.  ``tick``
+    controls the spacing between successive commits, which makes generated
+    histories easy to reason about in tests ("one commit per simulated day").
+    """
+
+    def __init__(self, start=parse_date("01/01/2001"), tick=SECONDS_PER_DAY):
+        if tick <= 0:
+            raise TimeError("clock tick must be positive")
+        self._now = start
+        self._tick = tick
+
+    def now(self):
+        """Current time; does not advance the clock."""
+        return self._now
+
+    def advance(self, seconds=None):
+        """Advance by ``seconds`` (default: one tick) and return the new time."""
+        step = self._tick if seconds is None else seconds
+        if step <= 0:
+            raise TimeError("clock can only move forward")
+        self._now += step
+        return self._now
+
+    def advance_to(self, ts):
+        """Jump forward to ``ts``; rejects travel into the past."""
+        if ts < self._now:
+            raise TimeError(
+                f"cannot move clock backwards ({format_timestamp(ts)} < "
+                f"{format_timestamp(self._now)})"
+            )
+        self._now = ts
+        return self._now

@@ -1,0 +1,130 @@
+"""The one-stop facade: a temporal XML database in a single object.
+
+:class:`TemporalXMLDatabase` wires together the versioned store, the
+temporal full-text index, the lifetime index, and the query engine — the
+configuration the paper's system assumes.  Typical use::
+
+    from repro import TemporalXMLDatabase
+
+    db = TemporalXMLDatabase()
+    db.put("guide.com", "<guide>...</guide>", ts=db.ts("01/01/2001"))
+    db.update("guide.com", "<guide>...</guide>", ts=db.ts("15/01/2001"))
+    result = db.query(
+        'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R'
+    )
+    print(result.to_xml_string())
+
+Lower-level pieces stay reachable (``db.store``, ``db.fti``,
+``db.lifetime``, ``db.engine``) for operator-level experiments.
+"""
+
+from __future__ import annotations
+
+from .clock import LogicalClock, parse_date
+from .index.fti import TemporalFullTextIndex
+from .index.lifetime import LifetimeIndex
+from .query.executor import QueryEngine, QueryOptions
+from .storage.store import TemporalDocumentStore
+
+
+class TemporalXMLDatabase:
+    """Store + indexes + query engine, pre-wired."""
+
+    def __init__(
+        self,
+        clock=None,
+        snapshot_interval=None,
+        clustered=True,
+        options=None,
+    ):
+        """``snapshot_interval`` materializes a full snapshot every k-th
+        version of each document; ``clustered`` controls simulated disk
+        placement of deltas (Section 7.2's clustering discussion);
+        ``options`` are :class:`~repro.query.executor.QueryOptions`."""
+        self.store = TemporalDocumentStore(
+            clock=clock if clock is not None else LogicalClock(),
+            snapshot_interval=snapshot_interval,
+            clustered=clustered,
+        )
+        self.fti = self.store.subscribe(TemporalFullTextIndex())
+        self.lifetime = self.store.subscribe(LifetimeIndex())
+        if options is None:
+            options = QueryOptions(lifetime_strategy="index")
+        self.engine = QueryEngine(
+            self.store, fti=self.fti, lifetime=self.lifetime, options=options
+        )
+
+    # -- updates ---------------------------------------------------------------
+
+    def put(self, name, source, ts=None):
+        """Create a document (XML text or a tree); returns its doc_id."""
+        return self.store.put(name, source, ts=ts)
+
+    def update(self, name, source, ts=None):
+        """Commit a new version; returns the new version number."""
+        return self.store.update(name, source, ts=ts)
+
+    def delete(self, name, ts=None):
+        """Logically delete a document (history stays queryable)."""
+        self.store.delete(name, ts=ts)
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(self, text):
+        """Execute TXQL text; returns a ResultSet."""
+        return self.engine.execute(text)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path):
+        """Write the whole version history to an XML archive file."""
+        from .storage.persistence import dump_store
+
+        dump_store(self.store, path)
+
+    @classmethod
+    def load(cls, path, snapshot_interval=None, clustered=True,
+             options=None):
+        """Restore a database from :meth:`save`'s archive.
+
+        Indexes (FTI, lifetime) are rebuilt by replaying the stored commit
+        history through the usual observers, so query behaviour after a
+        load is identical to before the save."""
+        from .index.fti import TemporalFullTextIndex
+        from .index.lifetime import LifetimeIndex
+        from .storage.persistence import load_store, replay_history
+
+        db = cls.__new__(cls)
+        db.store = load_store(
+            path, snapshot_interval=snapshot_interval, clustered=clustered
+        )
+        db.fti = TemporalFullTextIndex()
+        db.lifetime = LifetimeIndex()
+        replay_history(db.store, [db.fti, db.lifetime])
+        db.store.subscribe(db.fti)
+        db.store.subscribe(db.lifetime)
+        if options is None:
+            options = QueryOptions(lifetime_strategy="index")
+        db.engine = QueryEngine(
+            db.store, fti=db.fti, lifetime=db.lifetime, options=options
+        )
+        return db
+
+    # -- conveniences ----------------------------------------------------------------
+
+    @staticmethod
+    def ts(date_text):
+        """Parse a ``dd/mm/yyyy`` date into a timestamp."""
+        return parse_date(date_text)
+
+    def now(self):
+        return self.store.clock.now()
+
+    def current(self, name):
+        return self.store.current(name)
+
+    def snapshot(self, name, ts):
+        return self.store.snapshot(name, ts)
+
+    def documents(self, include_deleted=False):
+        return self.store.documents(include_deleted=include_deleted)

@@ -1,0 +1,150 @@
+"""Replay of edit scripts onto trees.
+
+``apply_script(root, script)`` returns the transformed tree (the input tree
+is mutated; pass a copy when the original must survive, which is what the
+repository does during reconstruction).  Every operation validates the state
+it expects, so a delta applied against the wrong base version raises
+:class:`~repro.errors.DeltaApplicationError` instead of silently corrupting
+the document.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeltaApplicationError
+from ..xmlcore.node import Element, Text
+from .editscript import (
+    DeleteOp,
+    InsertOp,
+    MoveOp,
+    ReplaceRootOp,
+    StampOp,
+    UpdateAttrOp,
+    UpdateTextOp,
+)
+
+
+def apply_script(root, script, index=None):
+    """Apply ``script`` to ``root`` in order; returns the resulting root.
+
+    ``index`` may supply a prebuilt ``{xid: node}`` map for ``root`` (it is
+    kept up to date through inserts/deletes); when omitted one is built.
+    The returned root differs from the input only for ``ReplaceRootOp``.
+    """
+    if index is None:
+        index = {node.xid: node for node in root.iter()}
+    for op in script:
+        root = _apply_op(root, op, index)
+    return root
+
+
+def _lookup(index, xid, kind=None):
+    node = index.get(xid)
+    if node is None:
+        raise DeltaApplicationError(f"edit script references unknown XID {xid}")
+    if kind is not None and not isinstance(node, kind):
+        raise DeltaApplicationError(
+            f"XID {xid} is a {type(node).__name__}, expected {kind.__name__}"
+        )
+    return node
+
+
+def _child_at(parent, pos):
+    if not 0 <= pos < len(parent.children):
+        raise DeltaApplicationError(
+            f"position {pos} out of range under XID {parent.xid} "
+            f"({len(parent.children)} children)"
+        )
+    return parent.children[pos]
+
+
+def _apply_op(root, op, index):
+    if isinstance(op, InsertOp):
+        parent = _lookup(index, op.parent_xid, Element)
+        if not 0 <= op.pos <= len(parent.children):
+            raise DeltaApplicationError(
+                f"insert position {op.pos} out of range under XID {parent.xid}"
+            )
+        node = op.payload.copy()
+        parent.insert(op.pos, node)
+        for inner in _subtree(node):
+            if inner.xid in index:
+                raise DeltaApplicationError(
+                    f"insert would duplicate XID {inner.xid}"
+                )
+            index[inner.xid] = inner
+        return root
+
+    if isinstance(op, DeleteOp):
+        parent = _lookup(index, op.parent_xid, Element)
+        victim = _child_at(parent, op.pos)
+        if victim.xid != op.payload.xid:
+            raise DeltaApplicationError(
+                f"delete expected XID {op.payload.xid} at position {op.pos}, "
+                f"found XID {victim.xid}"
+            )
+        parent.remove(victim)
+        for inner in _subtree(victim):
+            index.pop(inner.xid, None)
+        return root
+
+    if isinstance(op, MoveOp):
+        node = _lookup(index, op.xid)
+        source = _lookup(index, op.from_parent, Element)
+        if node.parent is not source or node.index_in_parent() != op.from_pos:
+            raise DeltaApplicationError(
+                f"move source mismatch for XID {op.xid}"
+            )
+        target = _lookup(index, op.to_parent, Element)
+        node.detach()
+        if not 0 <= op.to_pos <= len(target.children):
+            raise DeltaApplicationError(
+                f"move position {op.to_pos} out of range under XID {target.xid}"
+            )
+        target.insert(op.to_pos, node)
+        return root
+
+    if isinstance(op, UpdateTextOp):
+        node = _lookup(index, op.xid, Text)
+        if node.value != op.old:
+            raise DeltaApplicationError(
+                f"text update base mismatch on XID {op.xid}: "
+                f"expected {op.old!r}, found {node.value!r}"
+            )
+        node.value = op.new
+        return root
+
+    if isinstance(op, UpdateAttrOp):
+        node = _lookup(index, op.xid, Element)
+        current = node.attrib.get(op.name)
+        if current != op.old:
+            raise DeltaApplicationError(
+                f"attribute update base mismatch on XID {op.xid} "
+                f"({op.name}): expected {op.old!r}, found {current!r}"
+            )
+        if op.new is None:
+            node.attrib.pop(op.name, None)
+        else:
+            node.attrib[op.name] = op.new
+        return root
+
+    if isinstance(op, StampOp):
+        node = _lookup(index, op.xid)
+        node.tstamp = op.new_ts
+        return root
+
+    if isinstance(op, ReplaceRootOp):
+        if root.xid != op.old_payload.xid:
+            raise DeltaApplicationError("root replacement base mismatch")
+        new_root = op.new_payload.copy()
+        index.clear()
+        for inner in _subtree(new_root):
+            index[inner.xid] = inner
+        return new_root
+
+    raise DeltaApplicationError(f"unknown operation {type(op).__name__}")
+
+
+def _subtree(node):
+    if isinstance(node, Element):
+        return node.iter()
+    return iter([node])

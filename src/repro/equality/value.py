@@ -1,0 +1,63 @@
+"""Value equality (the ``=`` operator).
+
+Mirrors the XML Query Algebra discussion the paper cites: ``=`` compares
+*contents*, with the open questions of the day — automatic type coercion
+and shallow vs. deep semantics — resolved the way the paper leans:
+
+* scalars coerce numerically when both sides look numeric,
+* element-vs-scalar comparison uses the element's text content,
+* element-vs-element defaults to **deep** equality (subtrees match
+  completely) with :func:`shallow_equal` available separately, since
+  Section 7.4 wants both on the menu.
+"""
+
+from __future__ import annotations
+
+from ..xmlcore.node import Element, Text
+
+
+def coerce_scalar(value):
+    """Best-effort scalar: ints, then floats, else stripped strings."""
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, Text):
+        value = value.value
+    if isinstance(value, Element):
+        value = value.text_content()
+    text = str(value).strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def value_equal(left, right):
+    """The ``=`` comparison: contents, with numeric coercion.
+
+    Node-vs-node falls back to deep structural equality; anything involving
+    a scalar compares coerced scalars.
+    """
+    left_is_node = isinstance(left, Element)
+    right_is_node = isinstance(right, Element)
+    if left_is_node and right_is_node:
+        return deep_equal(left, right)
+    return coerce_scalar(left) == coerce_scalar(right)
+
+
+def shallow_equal(left, right):
+    """Tag, attributes, and direct text content match."""
+    if not isinstance(left, Element) or not isinstance(right, Element):
+        return value_equal(left, right)
+    return left.equals_shallow(right)
+
+
+def deep_equal(left, right):
+    """Subtrees match completely, elements and values (paper: "too strict
+    in practice, considering that this is XML data")."""
+    if not isinstance(left, Element) or not isinstance(right, Element):
+        return value_equal(left, right)
+    return left.equals_deep(right)

@@ -1,0 +1,34 @@
+"""Index structures (Section 7.2 of the paper).
+
+* :class:`~repro.index.fti.TemporalFullTextIndex` — **alternative 1**, the
+  paper's choice: index the contents of every version, postings carry
+  validity intervals.  Supports the three basic operations
+  ``FTI_lookup`` / ``FTI_lookup_T`` / ``FTI_lookup_H``.
+* :class:`~repro.index.delta_fti.DeltaOperationIndex` — **alternative 2**:
+  index the operations inside delta documents (update/move/delete events).
+* :class:`~repro.index.hybrid_fti.HybridIndex` — **alternative 3**: both.
+* :class:`~repro.index.lifetime.LifetimeIndex` — the auxiliary EID →
+  (create time, delete time) index of Section 7.3.6.
+
+All indexes are store observers: subscribe them with
+``store.subscribe(index)`` and they stay current with every commit.
+"""
+
+from .postings import Posting, occurrences, tokenize
+from .fti import TemporalFullTextIndex
+from .delta_fti import DeltaOperationIndex, EventPosting
+from .hybrid_fti import HybridIndex
+from .lifetime import LifetimeIndex
+from .stats import IndexStats
+
+__all__ = [
+    "Posting",
+    "occurrences",
+    "tokenize",
+    "TemporalFullTextIndex",
+    "DeltaOperationIndex",
+    "EventPosting",
+    "HybridIndex",
+    "LifetimeIndex",
+    "IndexStats",
+]

@@ -1,0 +1,222 @@
+"""Delta-operation index — alternative 2 of Section 7.2.
+
+"Index the contents of the delta objects.  This implies indexing the
+operations, e.g., update, move and delete information directly in the text
+index.  This would for example facilitate search for the path
+delete/restaurant/name/napoli."
+
+Every commit appends **event postings**: one per (operation keyword, word)
+pair affected by the commit.  Exactly as the paper warns, this creates
+"extremely many instances of the delta keywords" — the operation keywords
+(``insert``/``delete``/``update``/``move``) accumulate one posting per
+touched word per commit — and snapshot queries become expensive because the
+state at time *t* must be folded from the whole event history.  Both
+drawbacks are measurable through :attr:`stats`, which is the point of
+keeping this alternative around (benchmark E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..diff.editscript import (
+    DeleteOp,
+    InsertOp,
+    MoveOp,
+    ReplaceRootOp,
+    UpdateAttrOp,
+    UpdateTextOp,
+)
+from ..xmlcore.node import Element
+from .postings import occurrences, tokenize
+from .stats import IndexStats
+
+#: Operation keywords, indexed as words themselves (alternative 2's burden).
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+OP_UPDATE = "update"
+OP_MOVE = "move"
+
+
+@dataclass(frozen=True)
+class EventPosting:
+    """One change event for one word: ``op`` at ``ts`` in ``doc_id``/``xid``."""
+
+    op: str
+    word: str
+    doc_id: int
+    xid: int
+    path: str
+    ts: int
+
+    def estimated_bytes(self):
+        return 20 + len(self.word) + len(self.path)
+
+
+class DeltaOperationIndex:
+    """Inverted lists of change events, keyed by content word *and* by
+    operation keyword."""
+
+    def __init__(self):
+        self._by_word = {}  # word -> list[EventPosting]
+        self._by_op = {}    # op keyword -> list[EventPosting]
+        # Event postings attribute words to the *containing element* (the
+        # same attribution the content index uses), but text-node operations
+        # in edit scripts only carry the text node's own XID — so the index
+        # keeps a (doc, text_xid) -> element_xid map, maintained from the
+        # payloads it already sees.
+        self._text_parent = {}
+        self._text_value = {}  # (doc, text_xid) -> current value
+        self.stats = IndexStats()
+
+    # -- store observer -------------------------------------------------------
+
+    def document_committed(self, event):
+        if event.kind == "create":
+            self._learn_parents(event.doc_id, event.root)
+            self._index_subtree(OP_INSERT, event.doc_id, event.root, event.timestamp)
+        elif event.kind == "delete":
+            self._index_subtree(OP_DELETE, event.doc_id, event.old_root, event.timestamp)
+        elif event.kind == "update":
+            self._index_script(event.doc_id, event.script, event.timestamp)
+
+    def _learn_parents(self, doc_id, root):
+        if not isinstance(root, Element):
+            return
+        for node in root.iter():
+            if not isinstance(node, Element) and node.parent is not None:
+                self._text_parent[(doc_id, node.xid)] = node.parent.xid
+                self._text_value[(doc_id, node.xid)] = node.value
+
+    def _owner(self, doc_id, xid):
+        """Element owning a text node (falls back to the xid itself)."""
+        return self._text_parent.get((doc_id, xid), xid)
+
+    def _index_subtree(self, op, doc_id, root, ts):
+        for (word, xid, _ordinal), (_anc, path) in occurrences(root, doc_id).items():
+            self._add(EventPosting(op, word, doc_id, xid, path, ts))
+
+    def _index_script(self, doc_id, script, ts):
+        for op in script:
+            if isinstance(op, InsertOp):
+                if isinstance(op.payload, Element):
+                    self._learn_parents(doc_id, op.payload)
+                    self._index_subtree(OP_INSERT, doc_id, op.payload, ts)
+                else:
+                    self._text_parent[(doc_id, op.payload.xid)] = op.parent_xid
+                    self._text_value[(doc_id, op.payload.xid)] = op.payload.value
+                    self._add_words(OP_INSERT, doc_id, op.parent_xid, "",
+                                    tokenize(op.payload.value), ts)
+            elif isinstance(op, DeleteOp):
+                if isinstance(op.payload, Element):
+                    self._index_subtree(OP_DELETE, doc_id, op.payload, ts)
+                else:
+                    self._add_words(OP_DELETE, doc_id,
+                                    self._owner(doc_id, op.payload.xid), "",
+                                    tokenize(op.payload.value), ts)
+            elif isinstance(op, UpdateTextOp):
+                owner = self._owner(doc_id, op.xid)
+                self._text_value[(doc_id, op.xid)] = op.new
+                self._add_words(OP_DELETE, doc_id, owner, "",
+                                tokenize(op.old), ts)
+                self._add_words(OP_INSERT, doc_id, owner, "",
+                                tokenize(op.new), ts)
+                self._add_words(OP_UPDATE, doc_id, owner, "",
+                                tokenize(op.new) or tokenize(op.old), ts)
+            elif isinstance(op, UpdateAttrOp):
+                if op.old is not None:
+                    self._add_words(OP_DELETE, doc_id, op.xid, "",
+                                    tokenize(op.old), ts)
+                if op.new is not None:
+                    self._add_words(OP_INSERT, doc_id, op.xid, "",
+                                    tokenize(op.new), ts)
+            elif isinstance(op, MoveOp):
+                slot = (doc_id, op.xid)
+                if slot in self._text_parent and op.from_parent != op.to_parent:
+                    # A text node changed parents: its words move with it,
+                    # which the fold sees as delete-at-old + insert-at-new.
+                    words = tokenize(self._text_value.get(slot, ""))
+                    self._add_words(OP_DELETE, doc_id, op.from_parent, "",
+                                    words, ts)
+                    self._add_words(OP_INSERT, doc_id, op.to_parent, "",
+                                    words, ts)
+                    self._text_parent[slot] = op.to_parent
+                self._add(EventPosting(OP_MOVE, OP_MOVE, doc_id, op.xid, "", ts))
+            elif isinstance(op, ReplaceRootOp):
+                self._index_subtree(OP_DELETE, doc_id, op.old_payload, ts)
+                self._learn_parents(doc_id, op.new_payload)
+                self._index_subtree(OP_INSERT, doc_id, op.new_payload, ts)
+            # StampOps carry no content change; they are not indexed.
+
+    def _add_words(self, op, doc_id, xid, path, words, ts):
+        for word in words:
+            self._add(EventPosting(op, word, doc_id, xid, path, ts))
+
+    def _add(self, posting):
+        self._by_word.setdefault(posting.word, []).append(posting)
+        self._by_op.setdefault(posting.op, []).append(posting)
+        # The operation keyword costs a second stored entry — the explosion
+        # the paper predicts.  Count both.
+        self.stats.opened(posting.estimated_bytes())
+        self.stats.opened(posting.estimated_bytes() // 2)
+
+    # -- change-oriented queries (alternative 2's strength) ----------------------
+
+    def events_for_word(self, word, op=None):
+        """All change events mentioning ``word`` (optionally one op kind)."""
+        candidates = self._by_word.get(word, [])
+        self.stats.scanned(len(candidates))
+        if op is None:
+            return list(candidates)
+        return [e for e in candidates if e.op == op]
+
+    def events_for_op(self, op):
+        """All events of one operation kind — e.g. every deletion ever."""
+        candidates = self._by_op.get(op, [])
+        self.stats.scanned(len(candidates))
+        return list(candidates)
+
+    def deletion_time(self, word, doc_id=None):
+        """When was an element containing ``word`` deleted?  Direct here,
+        costly under alternative 1."""
+        hits = [
+            e
+            for e in self.events_for_word(word, OP_DELETE)
+            if doc_id is None or e.doc_id == doc_id
+        ]
+        return [e.ts for e in hits]
+
+    # -- snapshot queries (alternative 2's weakness) --------------------------------
+
+    def lookup_t(self, word, ts):
+        """Elements containing ``word`` at time ``ts``, folded from events.
+
+        Requires replaying the word's entire event history up to ``ts`` —
+        the cost the paper gives for rejecting this alternative on snapshot
+        access patterns.  Returns ``(doc_id, xid)`` pairs.
+        """
+        events = self._by_word.get(word, [])
+        self.stats.scanned(len(events))
+        alive = {}
+        for event in sorted(events, key=lambda e: e.ts):
+            if event.ts > ts:
+                break
+            slot = (event.doc_id, event.xid)
+            if event.op == OP_INSERT:
+                alive[slot] = alive.get(slot, 0) + 1
+            elif event.op == OP_DELETE:
+                alive[slot] = alive.get(slot, 0) - 1
+        return [slot for slot, count in alive.items() if count > 0]
+
+    # -- introspection ----------------------------------------------------------------
+
+    def posting_count(self):
+        """Stored entries, counting the op-keyword copies."""
+        return 2 * sum(len(lst) for lst in self._by_word.values())
+
+    def estimated_bytes(self):
+        return sum(
+            e.estimated_bytes() + e.estimated_bytes() // 2
+            for lst in self._by_word.values()
+            for e in lst
+        )

@@ -1,0 +1,109 @@
+"""The temporal full-text index — alternative 1 (the paper's choice).
+
+"We choose the first alternative, i.e., to index the contents of versions."
+
+Rather than writing one posting per (word, version) — which would duplicate
+postings for content that survives across versions — we store *interval
+postings*: a posting opens when a word occurrence appears in a committed
+version and closes when a later version no longer contains it.  This is the
+standard trick in temporal text indexing (Nørvåg's own follow-up work uses
+it) and it implements the paper's three required operations exactly:
+
+``lookup(word)``
+    postings of the current version only — open postings of live documents;
+
+``lookup_t(word, ts)``
+    postings valid at time ``ts`` (snapshot);
+
+``lookup_h(word)``
+    every posting, whole history.
+
+The index is a store observer; reconciliation happens on every commit by
+comparing the new version's occurrence map against the open postings.
+"""
+
+from __future__ import annotations
+
+from .postings import Posting, occurrences
+from .stats import IndexStats
+
+
+class TemporalFullTextIndex:
+    """Inverted lists of interval postings over all documents."""
+
+    def __init__(self):
+        self._lists = {}  # word -> list[Posting]
+        self._open = {}   # doc_id -> {(word, xid, ordinal): Posting}
+        self.stats = IndexStats()
+
+    # -- store observer ---------------------------------------------------------
+
+    def document_committed(self, event):
+        if event.kind in ("create", "update"):
+            self._reconcile(event.doc_id, event.root, event.timestamp)
+        elif event.kind == "delete":
+            self._close_all(event.doc_id, event.timestamp)
+
+    def _reconcile(self, doc_id, root, ts):
+        new_occurrences = occurrences(root, doc_id)
+        open_map = self._open.setdefault(doc_id, {})
+
+        for key in list(open_map):
+            posting = open_map[key]
+            found = new_occurrences.get(key)
+            if found is None or found[0] != posting.ancestors:
+                # Occurrence gone, or its element moved (hierarchy info in
+                # the posting would be stale): close the interval.
+                posting.end = ts
+                del open_map[key]
+                self.stats.closed()
+
+        for key, (ancestors, path) in new_occurrences.items():
+            if key in open_map:
+                continue
+            word, xid, _ordinal = key
+            posting = Posting(doc_id, xid, ancestors, path, start=ts)
+            self._lists.setdefault(word, []).append(posting)
+            open_map[key] = posting
+            self.stats.opened(posting.estimated_bytes())
+
+    def _close_all(self, doc_id, ts):
+        open_map = self._open.pop(doc_id, {})
+        for posting in open_map.values():
+            posting.end = ts
+            self.stats.closed()
+
+    # -- the three FTI operations (Section 7.2) ------------------------------------
+
+    def lookup(self, word):
+        """``FTI_lookup``: occurrences in currently valid document versions."""
+        candidates = self._lists.get(word, [])
+        self.stats.scanned(len(candidates))
+        return [p for p in candidates if p.is_open]
+
+    def lookup_t(self, word, ts):
+        """``FTI_lookup_T``: occurrences in versions valid at time ``ts``."""
+        candidates = self._lists.get(word, [])
+        self.stats.scanned(len(candidates))
+        return [p for p in candidates if p.valid_at(ts)]
+
+    def lookup_h(self, word):
+        """``FTI_lookup_H``: every posting over the whole history."""
+        candidates = self._lists.get(word, [])
+        self.stats.scanned(len(candidates))
+        return list(candidates)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def words(self):
+        return list(self._lists)
+
+    def posting_count(self):
+        return sum(len(lst) for lst in self._lists.values())
+
+    def estimated_bytes(self):
+        return sum(
+            p.estimated_bytes()
+            for lst in self._lists.values()
+            for p in lst
+        )

@@ -1,0 +1,62 @@
+"""Hybrid index — alternative 3 of Section 7.2: snapshot *and* delta info.
+
+"This approach could be efficient for both snapshot and change based
+queries, but will result in larger indexes and higher update costs."
+
+Implemented as the straightforward composition of alternatives 1 and 2:
+snapshot-style lookups are answered by the content index, change-oriented
+queries by the operation index, and sizes/update costs are the sums — which
+is precisely the trade-off benchmark E6 quantifies.
+"""
+
+from __future__ import annotations
+
+from .delta_fti import DeltaOperationIndex
+from .fti import TemporalFullTextIndex
+
+
+class HybridIndex:
+    """Both a content index and a delta-operation index, kept in lockstep."""
+
+    def __init__(self):
+        self.content = TemporalFullTextIndex()
+        self.operations = DeltaOperationIndex()
+
+    # -- store observer ------------------------------------------------------
+
+    def document_committed(self, event):
+        self.content.document_committed(event)
+        self.operations.document_committed(event)
+
+    # -- queries: route to the cheaper side -----------------------------------
+
+    def lookup(self, word):
+        return self.content.lookup(word)
+
+    def lookup_t(self, word, ts):
+        return self.content.lookup_t(word, ts)
+
+    def lookup_h(self, word):
+        return self.content.lookup_h(word)
+
+    def events_for_word(self, word, op=None):
+        return self.operations.events_for_word(word, op)
+
+    def deletion_time(self, word, doc_id=None):
+        return self.operations.deletion_time(word, doc_id)
+
+    # -- combined accounting -----------------------------------------------------
+
+    def posting_count(self):
+        return self.content.posting_count() + self.operations.posting_count()
+
+    def estimated_bytes(self):
+        return (
+            self.content.estimated_bytes()
+            + self.operations.estimated_bytes()
+        )
+
+    def update_ops(self):
+        return (
+            self.content.stats.update_ops + self.operations.stats.update_ops
+        )

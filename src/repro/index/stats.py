@@ -1,0 +1,68 @@
+"""Shared index instrumentation.
+
+Every index keeps an :class:`IndexStats`; the E6 benchmark compares the
+three FTI alternatives on exactly these numbers (posting counts, stored
+bytes, per-commit update work, and per-query scan work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IndexStats:
+    """Counters an index maintains about itself."""
+
+    postings: int = 0          # live entries stored right now
+    bytes: int = 0             # estimated stored size
+    postings_opened: int = 0   # lifetime total of insertions
+    postings_closed: int = 0
+    update_ops: int = 0        # index mutations performed by commits
+    lookups: int = 0           # query-side calls
+    postings_scanned: int = 0  # entries touched while answering queries
+
+    def opened(self, estimated_bytes):
+        self.postings += 1
+        self.bytes += estimated_bytes
+        self.postings_opened += 1
+        self.update_ops += 1
+
+    def closed(self):
+        self.postings_closed += 1
+        self.update_ops += 1
+
+    def removed(self, estimated_bytes):
+        self.postings -= 1
+        self.bytes -= estimated_bytes
+        self.update_ops += 1
+
+    def scanned(self, count):
+        self.lookups += 1
+        self.postings_scanned += count
+
+    def as_dict(self):
+        return {
+            "postings": self.postings,
+            "bytes": self.bytes,
+            "postings_opened": self.postings_opened,
+            "postings_closed": self.postings_closed,
+            "update_ops": self.update_ops,
+            "lookups": self.lookups,
+            "postings_scanned": self.postings_scanned,
+        }
+
+    def reset_query_counters(self):
+        self.lookups = 0
+        self.postings_scanned = 0
+
+
+@dataclass
+class StatsRegion:
+    """Difference of two stats dicts over a measured region."""
+
+    before: dict = field(default_factory=dict)
+    after: dict = field(default_factory=dict)
+
+    def diff(self):
+        return {k: self.after[k] - self.before.get(k, 0) for k in self.after}

@@ -1,0 +1,93 @@
+"""Persistent element identifiers: XIDs, EIDs, and TEIDs.
+
+The paper adopts Xyleme's persistent identifiers (Section 3.2):
+
+* an **XID** identifies an element within one document in a time-independent
+  manner and is *never reused* after the element is deleted;
+* an **EID** is the concatenation of document identifier and XID, uniquely
+  identifying an element across the whole database;
+* a **TEID** is the concatenation of EID and timestamp, uniquely identifying
+  one *version* of an element.
+
+XIDs here are plain integers handed out by :class:`XIDAllocator`; EIDs and
+TEIDs are small frozen dataclasses so they can be dict keys, set members, and
+sort keys throughout the indexes and operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import format_timestamp
+from ..errors import IdentityError
+
+
+@dataclass(frozen=True, order=True)
+class EID:
+    """Element identifier: ``(doc_id, xid)``."""
+
+    doc_id: int
+    xid: int
+
+    def at(self, timestamp):
+        """The TEID of this element's version valid at ``timestamp``."""
+        return TEID(self.doc_id, self.xid, timestamp)
+
+    def __str__(self):
+        return f"{self.doc_id}.{self.xid}"
+
+
+@dataclass(frozen=True, order=True)
+class TEID:
+    """Temporal element identifier: ``(doc_id, xid, timestamp)``.
+
+    The timestamp is the *version timestamp*: the commit time of the document
+    version this element version belongs to (not the element's own last
+    update time, which may be earlier).
+    """
+
+    doc_id: int
+    xid: int
+    timestamp: int
+
+    @property
+    def eid(self):
+        """The time-independent part of the identifier."""
+        return EID(self.doc_id, self.xid)
+
+    def __str__(self):
+        return f"{self.doc_id}.{self.xid}@{format_timestamp(self.timestamp)}"
+
+
+class XIDAllocator:
+    """Monotonic XID source for one document.
+
+    Guarantees the paper's contract: identifiers increase strictly and are
+    never handed out twice, even after deletions.  The allocator's state is
+    a single integer, which the repository persists with the document.
+    """
+
+    def __init__(self, next_xid=1):
+        if next_xid < 1:
+            raise IdentityError("XIDs start at 1")
+        self._next = next_xid
+
+    @property
+    def next_xid(self):
+        """The XID the next call to :meth:`allocate` will return."""
+        return self._next
+
+    def allocate(self):
+        """Return a fresh, never-before-seen XID."""
+        xid = self._next
+        self._next += 1
+        return xid
+
+    def note_used(self, xid):
+        """Record an externally assigned XID (used when loading payloads).
+
+        Keeps the allocator ahead of every XID observed so uniqueness holds
+        even for trees stamped elsewhere.
+        """
+        if xid >= self._next:
+            self._next = xid + 1

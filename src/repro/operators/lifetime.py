@@ -1,0 +1,129 @@
+"""CreTime and DelTime (Section 7.3.6).
+
+Both operators come with the paper's two strategies:
+
+``strategy="traverse"``
+    Walk the delta chain.  For CreTime, backwards from the version in the
+    TEID until the delta that introduces the element is found — "note that
+    no reconstruction is necessary", only delta reads.  For DelTime,
+    forwards until the delta that removes it (or the document's own delete
+    time when the element survived to the end).
+
+``strategy="index"``
+    O(1) lookups in the auxiliary :class:`~repro.index.lifetime.LifetimeIndex`.
+
+The traversal cost grows with the element's distance from its creation (or
+deletion) — benchmark E5 measures the crossover the paper predicts
+("traversing the deltas ... can easily become a bottleneck").
+"""
+
+from __future__ import annotations
+
+from ..diff.editscript import DeleteOp, InsertOp, ReplaceRootOp
+from ..errors import NoSuchVersionError, QueryPlanError
+from ..xmlcore.node import Element
+
+
+class CreTime:
+    """Create time of the element identified by a TEID."""
+
+    def __init__(self, store, teid, strategy="traverse", lifetime_index=None):
+        if strategy not in ("traverse", "index"):
+            raise QueryPlanError(f"unknown CreTime strategy {strategy!r}")
+        if strategy == "index" and lifetime_index is None:
+            raise QueryPlanError("index strategy needs a LifetimeIndex")
+        self.store = store
+        self.teid = teid
+        self.strategy = strategy
+        self.lifetime_index = lifetime_index
+
+    def value(self):
+        """The create timestamp (raises if the TEID does not resolve)."""
+        if self.strategy == "index":
+            ts = self.lifetime_index.create_time(self.teid.eid)
+            if ts is None:
+                raise NoSuchVersionError(f"unknown element {self.teid.eid}")
+            return ts
+        return self._traverse()
+
+    def _traverse(self):
+        record = self.store.record(self.teid.doc_id)
+        entry = record.dindex.version_at(self.teid.timestamp)
+        if entry is None:
+            raise NoSuchVersionError(
+                f"{self.teid} does not address a stored version"
+            )
+        # Walk deltas backwards; delta v leads from version v to v+1, so if
+        # it inserts the XID the element was created at version v+1's time.
+        for version in range(entry.number - 1, 0, -1):
+            script = self.store.repository.read_delta(record, version)
+            if _script_creates(script, self.teid.xid):
+                return record.dindex.entry(version + 1).timestamp
+        return record.dindex.entry(1).timestamp
+
+
+class DelTime:
+    """Delete time of the element identified by a TEID.
+
+    ``value()`` returns ``None`` while the element is still alive.
+    """
+
+    def __init__(self, store, teid, strategy="traverse", lifetime_index=None):
+        if strategy not in ("traverse", "index"):
+            raise QueryPlanError(f"unknown DelTime strategy {strategy!r}")
+        if strategy == "index" and lifetime_index is None:
+            raise QueryPlanError("index strategy needs a LifetimeIndex")
+        self.store = store
+        self.teid = teid
+        self.strategy = strategy
+        self.lifetime_index = lifetime_index
+
+    def value(self):
+        if self.strategy == "index":
+            if not self.lifetime_index.known(self.teid.eid):
+                raise NoSuchVersionError(f"unknown element {self.teid.eid}")
+            return self.lifetime_index.delete_time(self.teid.eid)
+        return self._traverse()
+
+    def _traverse(self):
+        record = self.store.record(self.teid.doc_id)
+        entry = record.dindex.version_at(self.teid.timestamp)
+        if entry is None:
+            raise NoSuchVersionError(
+                f"{self.teid} does not address a stored version"
+            )
+        current_number = record.dindex.current_number
+        for version in range(entry.number, current_number):
+            script = self.store.repository.read_delta(record, version)
+            if _script_deletes(script, self.teid.xid):
+                return record.dindex.entry(version + 1).timestamp
+        # Survived every delta: deleted with the document, or still alive.
+        return record.dindex.deleted_at
+
+
+def _script_creates(script, xid):
+    for op in script:
+        if isinstance(op, InsertOp) and _payload_contains(op.payload, xid):
+            return True
+        if isinstance(op, ReplaceRootOp) and _payload_contains(
+            op.new_payload, xid
+        ):
+            return True
+    return False
+
+
+def _script_deletes(script, xid):
+    for op in script:
+        if isinstance(op, DeleteOp) and _payload_contains(op.payload, xid):
+            return True
+        if isinstance(op, ReplaceRootOp) and _payload_contains(
+            op.old_payload, xid
+        ):
+            return True
+    return False
+
+
+def _payload_contains(payload, xid):
+    if isinstance(payload, Element):
+        return any(node.xid == xid for node in payload.iter())
+    return payload.xid == xid

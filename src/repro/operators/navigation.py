@@ -1,0 +1,57 @@
+"""PreviousTS, NextTS, CurrentTS (Section 7.3.7).
+
+"These operators can be evaluated by a lookup in the delta index for a
+particular document."  No document data is read; each call is a pure delta
+index lookup.  The returned timestamp combined with the input EID (i.e. a
+TEID) can then be fed to ``Reconstruct`` to fetch the version itself.
+"""
+
+from __future__ import annotations
+
+from ..model.identifiers import TEID
+
+
+def previous_ts(store, teid):
+    """Timestamp of the version preceding ``teid``'s, or ``None``."""
+    return store.delta_index(teid.doc_id).previous_ts(teid.timestamp)
+
+
+def next_ts(store, teid):
+    """Timestamp of the version following ``teid``'s, or ``None``."""
+    return store.delta_index(teid.doc_id).next_ts(teid.timestamp)
+
+
+def current_ts(store, eid):
+    """Timestamp of the current version of the element's document.
+
+    No input timestamp is needed — "this is given implicitly".  Returns
+    ``None`` when the document has been deleted (there is no current
+    version to navigate to).
+    """
+    dindex = store.delta_index(eid.doc_id)
+    if dindex.is_deleted:
+        return None
+    return dindex.current_ts()
+
+
+def previous_teid(store, teid):
+    """TEID of the previous version of the same element (``None`` at the
+    first version)."""
+    ts = previous_ts(store, teid)
+    if ts is None:
+        return None
+    return TEID(teid.doc_id, teid.xid, ts)
+
+
+def next_teid(store, teid):
+    ts = next_ts(store, teid)
+    if ts is None:
+        return None
+    return TEID(teid.doc_id, teid.xid, ts)
+
+
+def current_teid(store, eid):
+    ts = current_ts(store, eid)
+    if ts is None:
+        return None
+    return TEID(eid.doc_id, eid.xid, ts)

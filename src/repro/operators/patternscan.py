@@ -1,0 +1,46 @@
+"""The non-temporal PatternScan operator (after Xyleme [2]).
+
+Algorithm (Section 7.3.1):
+
+1. for every word in the pattern, ``postings = FTI_lookup(word)``,
+2. join the posting lists on document identifier and the pattern's
+   isParentOf/isAscendantOf relationships.
+
+Operates on the *current* snapshot only; the temporal variants in
+:mod:`repro.operators.tpatternscan` swap in the temporal FTI lookups.
+"""
+
+from __future__ import annotations
+
+from ..pattern.structjoin import structural_join
+
+
+class PatternScan:
+    """Match ``pattern`` against all currently valid documents."""
+
+    def __init__(self, fti, pattern, docs=None):
+        """``docs`` optionally restricts matching to a set of doc_ids
+        (the operator's forest argument; ``None`` means the whole base)."""
+        self.fti = fti
+        self.pattern = pattern
+        self.docs = set(docs) if docs is not None else None
+
+    def run(self):
+        """All matches, as :class:`~repro.pattern.structjoin.PatternMatch`."""
+        posting_lists = [
+            self._restrict(self.fti.lookup(node.term))
+            for node in self.pattern.nodes()
+        ]
+        return structural_join(self.pattern, posting_lists)
+
+    def teids(self):
+        """TEIDs of the projected pattern node, one per match."""
+        return [m.teid(self.pattern) for m in self.run()]
+
+    def _restrict(self, postings):
+        if self.docs is None:
+            return postings
+        return [p for p in postings if p.doc_id in self.docs]
+
+    def __iter__(self):
+        return iter(self.run())

@@ -1,0 +1,49 @@
+"""The Reconstruct operator (Section 7.3.3).
+
+Materializes the tree rooted at a TEID's element for the version valid at
+the TEID's timestamp.  Delegates to the repository's backward delta
+application (with snapshot shortcuts) and then filters the subtree — the
+TEID's timestamp may come from ``PreviousTS``/``NextTS``/``CurrentTS`` or
+from a pattern-scan match.
+"""
+
+from __future__ import annotations
+
+from ..errors import NoSuchVersionError
+
+
+class Reconstruct:
+    """Materialize one element version."""
+
+    def __init__(self, store, teid):
+        self.store = store
+        self.teid = teid
+
+    def run(self):
+        """The subtree (whole document when the TEID names the root).
+
+        Raises :class:`~repro.errors.NoSuchVersionError` when the document
+        has no version at the TEID's time or the element is not present in
+        that version — a reconstructed TEID should always resolve, so a
+        miss indicates a stale identifier rather than an empty result.
+        """
+        tree = self.store.snapshot(self.teid.doc_id, self.teid.timestamp)
+        if tree is None:
+            raise NoSuchVersionError(
+                f"no version of document {self.teid.doc_id} at "
+                f"{self.teid.timestamp}"
+            )
+        for node in tree.iter():
+            if node.xid == self.teid.xid:
+                return node
+        raise NoSuchVersionError(
+            f"element {self.teid.eid} not present in the version at "
+            f"{self.teid.timestamp}"
+        )
+
+    def run_or_none(self):
+        """Like :meth:`run` but ``None`` on a miss (operator-pipeline use)."""
+        try:
+            return self.run()
+        except NoSuchVersionError:
+            return None

@@ -1,0 +1,248 @@
+"""Traditional operators: selection, projection, joins, aggregates.
+
+The paper assumes these exist ("we also assume the availability of
+traditional operators, for example projection and join") and adds one
+temporal flavour: a join whose condition includes validity-interval overlap.
+
+All operators here are lazy iterators over **rows** — plain dicts mapping
+variable names to values.  Rows produced by the temporal scans carry their
+validity interval under the reserved key ``"__interval__"``.
+"""
+
+from __future__ import annotations
+
+#: Reserved row key holding a :class:`~repro.clock.Interval`.
+INTERVAL_KEY = "__interval__"
+
+
+class Select:
+    """Filter rows by a predicate."""
+
+    def __init__(self, source, predicate):
+        self.source = source
+        self.predicate = predicate
+
+    def __iter__(self):
+        for row in self.source:
+            if self.predicate(row):
+                yield row
+
+
+class Project:
+    """Map each row to a new row of named expressions.
+
+    ``columns`` maps output names to callables over the input row.
+    """
+
+    def __init__(self, source, columns):
+        self.source = source
+        self.columns = columns
+
+    def __iter__(self):
+        for row in self.source:
+            yield {name: fn(row) for name, fn in self.columns.items()}
+
+
+class CrossJoin:
+    """Cartesian product; the right input is materialized once."""
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def __iter__(self):
+        right_rows = list(self.right)
+        for left_row in self.left:
+            for right_row in right_rows:
+                merged = dict(left_row)
+                merged.update(right_row)
+                yield merged
+
+
+class ThetaJoin:
+    """Nested-loop join with an arbitrary predicate over the merged row."""
+
+    def __init__(self, left, right, predicate):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    def __iter__(self):
+        right_rows = list(self.right)
+        for left_row in self.left:
+            for right_row in right_rows:
+                merged = dict(left_row)
+                merged.update(right_row)
+                if self.predicate(merged):
+                    yield merged
+
+
+class TemporalJoin:
+    """Join requiring overlapping validity intervals.
+
+    The output row's interval is the intersection — the span during which
+    both inputs were simultaneously valid.  An extra ``predicate`` can
+    refine the match.  This is the join underlying TPatternScanAll and any
+    multi-variable EVERY query.
+    """
+
+    def __init__(self, left, right, predicate=None):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    def __iter__(self):
+        right_rows = list(self.right)
+        for left_row in self.left:
+            left_interval = left_row.get(INTERVAL_KEY)
+            for right_row in right_rows:
+                right_interval = right_row.get(INTERVAL_KEY)
+                if left_interval is not None and right_interval is not None:
+                    overlap = left_interval.intersect(right_interval)
+                    if overlap is None:
+                        continue
+                else:
+                    overlap = left_interval or right_interval
+                merged = dict(left_row)
+                merged.update(right_row)
+                if overlap is not None:
+                    merged[INTERVAL_KEY] = overlap
+                if self.predicate is None or self.predicate(merged):
+                    yield merged
+
+
+class Distinct:
+    """Duplicate elimination (by a key function, default: sorted items)."""
+
+    def __init__(self, source, key=None):
+        self.source = source
+        self.key = key
+
+    def __iter__(self):
+        seen = set()
+        for row in self.source:
+            key = self.key(row) if self.key else _row_key(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+
+class OrderBy:
+    """Sort rows (materializes the input)."""
+
+    def __init__(self, source, key, reverse=False):
+        self.source = source
+        self.key = key
+        self.reverse = reverse
+
+    def __iter__(self):
+        return iter(sorted(self.source, key=self.key, reverse=self.reverse))
+
+
+class Aggregate:
+    """Collapse all rows into one row of aggregate values.
+
+    ``specs`` maps output names to ``(kind, expr)`` where ``kind`` is one of
+    ``sum``/``count``/``avg``/``min``/``max`` and ``expr`` extracts the
+    aggregated value from a row (``None`` for ``count``).
+    """
+
+    _KINDS = ("sum", "count", "avg", "min", "max")
+
+    def __init__(self, source, specs):
+        for name, (kind, _expr) in specs.items():
+            if kind not in self._KINDS:
+                raise ValueError(f"unknown aggregate {kind!r} for {name!r}")
+        self.source = source
+        self.specs = specs
+
+    def __iter__(self):
+        accumulators = {name: [] for name in self.specs}
+        for row in self.source:
+            for name, (kind, expr) in self.specs.items():
+                if kind == "count":
+                    accumulators[name].append(1)
+                else:
+                    value = expr(row)
+                    if value is not None:
+                        accumulators[name].append(value)
+        yield {
+            name: self._finish(kind, accumulators[name])
+            for name, (kind, _expr) in self.specs.items()
+        }
+
+    @staticmethod
+    def _finish(kind, values):
+        if kind == "count":
+            return len(values)
+        if not values:
+            return None
+        if kind == "sum":
+            return sum(values)
+        if kind == "avg":
+            return sum(values) / len(values)
+        if kind == "min":
+            return min(values)
+        return max(values)
+
+
+class Coalesce:
+    """Merge value-equivalent rows with adjacent/overlapping intervals.
+
+    The classic temporal *coalescing* operator — the one the paper says a
+    valid-time variant of the system would additionally need (Section 3.1).
+    Rows are grouped by their non-interval content; each group's validity
+    intervals are merged into maximal disjoint intervals, and one row per
+    merged interval is emitted.
+
+    Example: three versions of a restaurant priced 15, 15, 18 coalesce into
+    two rows — price 15 over the union of the first two validity intervals,
+    price 18 over the third.
+    """
+
+    def __init__(self, source):
+        self.source = source
+
+    def __iter__(self):
+        from ..clock import coalesce as merge_intervals
+
+        groups = {}
+        order = []
+        for row in self.source:
+            key = _row_key(row)
+            if key not in groups:
+                groups[key] = {"row": row, "intervals": []}
+                order.append(key)
+            interval = row.get(INTERVAL_KEY)
+            if interval is not None:
+                groups[key]["intervals"].append(interval)
+        for key in order:
+            group = groups[key]
+            if not group["intervals"]:
+                yield dict(group["row"])
+                continue
+            for interval in merge_intervals(group["intervals"]):
+                merged = dict(group["row"])
+                merged[INTERVAL_KEY] = interval
+                yield merged
+
+
+def _row_key(row):
+    """Hashable identity of a row for Distinct."""
+    parts = []
+    for name in sorted(row):
+        if name == INTERVAL_KEY:
+            continue
+        parts.append((name, _value_key(row[name])))
+    return tuple(parts)
+
+
+def _value_key(value):
+    from ..xmlcore.node import Element, Text
+    from ..xmlcore.serializer import serialize
+
+    if isinstance(value, (Element, Text)):
+        return serialize(value)
+    if isinstance(value, list):
+        return tuple(_value_key(v) for v in value)
+    return value

@@ -1,0 +1,110 @@
+"""TPatternScan and TPatternScanAll (Sections 7.3.1–7.3.2).
+
+``TPatternScan(forest, pattern, t)`` is PatternScan over the snapshot valid
+at time *t*: identical join, but posting lists come from ``FTI_lookup_T``.
+
+``TPatternScanAll(forest, pattern)`` matches against *all* versions: posting
+lists come from ``FTI_lookup_H`` and the join additionally requires temporal
+overlap — "words in the pattern valid at same time, which actually implies
+that this is a temporal join".  Each result carries the maximal validity
+interval during which the combination held.
+"""
+
+from __future__ import annotations
+
+from ..pattern.structjoin import structural_join
+
+
+class TPatternScan:
+    """Snapshot pattern scan at time ``ts``; outputs TEIDs at that time."""
+
+    def __init__(self, fti, pattern, ts, docs=None, store=None):
+        self.fti = fti
+        self.pattern = pattern
+        self.ts = ts
+        self.docs = set(docs) if docs is not None else None
+        self.store = store
+
+    def run(self):
+        posting_lists = [
+            self._restrict(self.fti.lookup_t(node.term, self.ts))
+            for node in self.pattern.nodes()
+        ]
+        return structural_join(self.pattern, posting_lists)
+
+    def teids(self):
+        """TEIDs of the projected node; timestamps are normalized to the
+        containing version's commit time when a store is available."""
+        out = []
+        for match in self.run():
+            teid = match.teid(self.pattern, at=self.ts)
+            if self.store is not None:
+                normalized = self.store.normalize_teid(teid)
+                if normalized is None:
+                    continue
+                teid = normalized
+            out.append(teid)
+        return out
+
+    def _restrict(self, postings):
+        if self.docs is None:
+            return postings
+        return [p for p in postings if p.doc_id in self.docs]
+
+    def __iter__(self):
+        return iter(self.run())
+
+
+class TPatternScanAll:
+    """Pattern scan over the whole history; a temporal multiway join."""
+
+    def __init__(self, fti, pattern, docs=None, store=None):
+        self.fti = fti
+        self.pattern = pattern
+        self.docs = set(docs) if docs is not None else None
+        self.store = store
+
+    def run(self):
+        """Matches with their maximal validity intervals."""
+        posting_lists = [
+            self._restrict(self.fti.lookup_h(node.term))
+            for node in self.pattern.nodes()
+        ]
+        return structural_join(self.pattern, posting_lists)
+
+    def teids(self):
+        """One TEID per match interval (at the interval's first version)."""
+        return [m.teid(self.pattern) for m in self.run()]
+
+    def teids_per_version(self):
+        """Expand each match interval into one TEID per document version it
+        covers (requires a store for the delta indexes).
+
+        A match interval ``[t1, t2)`` may span several commits of the
+        document (commits that did not disturb the matched words); queries
+        like the price history (Q3) want one row per *version*, so this is
+        the expansion the executor uses.
+        """
+        if self.store is None:
+            raise ValueError("teids_per_version() requires a store")
+        seen = set()
+        out = []
+        for match in self.run():
+            dindex = self.store.delta_index(match.doc_id)
+            for entry in dindex.versions_in(
+                match.interval.start, match.interval.end
+            ):
+                teid = match.teid(self.pattern, at=entry.timestamp)
+                if teid not in seen:
+                    seen.add(teid)
+                    out.append(teid)
+        out.sort()
+        return out
+
+    def _restrict(self, postings):
+        if self.docs is None:
+            return postings
+        return [p for p in postings if p.doc_id in self.docs]
+
+    def __iter__(self):
+        return iter(self.run())

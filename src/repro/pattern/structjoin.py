@@ -1,0 +1,138 @@
+"""The multiway structural (and temporal) join over posting lists.
+
+This is the engine shared by PatternScan, TPatternScan, and
+TPatternScanAll (Sections 7.3.1–7.3.2).  Given one posting list per pattern
+node, it joins on:
+
+* document identifier,
+* the structural relationship of every pattern edge (isParentOf /
+  isAscendantOf / containment), decided in O(1) from the ancestor-XID
+  information each posting carries,
+* time — combinations must share a non-empty validity intersection (for the
+  snapshot variant the lists are pre-filtered to one instant, so this is
+  trivially satisfied; for the history variant this intersection is what
+  makes it "actually a temporal join").
+
+Within one document the search is a backtracking nested-loop join in
+pattern pre-order, so a child node only ever tests candidates against its
+already-bound parent.  Posting lists per document are small, which is the
+same argument Xyleme's PatternScan makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import Interval
+from ..model.identifiers import TEID
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One match of the whole pattern inside one document."""
+
+    doc_id: int
+    interval: Interval
+    postings: tuple  # one per pattern node, pre-order
+
+    def teid(self, pattern, at=None):
+        """TEID of the projected node.
+
+        ``at`` chooses the timestamp (must lie in the validity interval);
+        the default is the interval start — the commit time at which this
+        match first became true, which is always a valid version instant.
+        """
+        posting = self.postings[pattern.projected_index()]
+        ts = self.interval.start if at is None else at
+        return TEID(self.doc_id, posting.xid, ts)
+
+    def xids(self):
+        return tuple(p.xid for p in self.postings)
+
+
+def structural_join(pattern, posting_lists):
+    """Join the posting lists of all pattern nodes; returns matches.
+
+    ``posting_lists[i]`` holds the candidates for pre-order node ``i``.
+    """
+    nodes = pattern.nodes()
+    if len(posting_lists) != len(nodes):
+        raise ValueError("one posting list per pattern node required")
+    if any(not lst for lst in posting_lists):
+        return []
+
+    by_doc = [_group_by_doc(lst) for lst in posting_lists]
+    # Candidate documents must appear in every list.
+    docs = set(by_doc[0])
+    for groups in by_doc[1:]:
+        docs &= set(groups)
+
+    parent_of = {}  # node index -> (parent index, relationship)
+    for parent, child, relationship in pattern.edges():
+        parent_of[child] = (parent, relationship)
+
+    matches = []
+    for doc_id in sorted(docs):
+        lists = [groups[doc_id] for groups in by_doc]
+        _join_one_doc(doc_id, lists, parent_of, matches)
+    return _dedupe(matches)
+
+
+def _group_by_doc(postings):
+    groups = {}
+    for posting in postings:
+        groups.setdefault(posting.doc_id, []).append(posting)
+    return groups
+
+
+def _join_one_doc(doc_id, lists, parent_of, out):
+    bound = [None] * len(lists)
+
+    def extend(node_index, interval):
+        if node_index == len(lists):
+            out.append(PatternMatch(doc_id, interval, tuple(bound)))
+            return
+        link = parent_of.get(node_index)
+        for posting in lists[node_index]:
+            if link is not None:
+                parent_posting = bound[link[0]]
+                if not _related(parent_posting, posting, link[1]):
+                    continue
+            narrowed = _intersect(interval, posting)
+            if narrowed is None:
+                continue
+            bound[node_index] = posting
+            extend(node_index + 1, narrowed)
+        bound[node_index] = None
+
+    extend(0, None)
+
+
+def _related(parent_posting, child_posting, relationship):
+    if relationship == "child":
+        return parent_posting.is_parent(child_posting)
+    if relationship == "descendant":
+        return parent_posting.is_ancestor(child_posting)
+    if relationship == "contains":
+        return parent_posting.contains(child_posting)
+    raise ValueError(f"unknown relationship {relationship!r}")
+
+
+def _intersect(interval, posting):
+    candidate = Interval(posting.start, posting.end)
+    if interval is None:
+        return candidate
+    return interval.intersect(candidate)
+
+
+def _dedupe(matches):
+    """Repeated words inside one element yield identical XID bindings —
+    collapse them (set semantics, as the paper's operators return sets)."""
+    seen = set()
+    unique = []
+    for match in matches:
+        key = (match.doc_id, match.xids(), match.interval)
+        if key not in seen:
+            seen.add(key)
+            unique.append(match)
+    return unique

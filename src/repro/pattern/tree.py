@@ -1,0 +1,127 @@
+"""Pattern trees: what TPatternScan matches against documents.
+
+A pattern node tests one index term.  ``kind`` distinguishes element-name
+terms from content-word terms; the edge to the parent node carries the
+structural relationship:
+
+* ``child`` — isParentOf (the paper's direct containment edge),
+* ``descendant`` — isAscendantOf (any depth),
+* ``contains`` — a content word occurring in the parent node's element
+  (self-or-descendant, since the FTI attributes text to its direct
+  containing element).
+
+One node is marked ``projected``: its matches are what the operator returns
+(the pattern-tree "information on projection" of [2]).  By default the root
+is projected.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryPlanError
+from ..index.postings import tokenize
+from ..xmlcore.path import CHILD, Path
+
+
+class PatternNode:
+    """One term test in a pattern tree."""
+
+    __slots__ = ("term", "kind", "relationship", "children", "projected")
+
+    def __init__(self, term, kind="element", relationship="child",
+                 projected=False):
+        words = tokenize(term)
+        if len(words) != 1:
+            raise QueryPlanError(
+                f"pattern terms must be single index terms, got {term!r}"
+            )
+        self.term = words[0]
+        self.kind = kind
+        self.relationship = relationship
+        self.children = []
+        self.projected = projected
+
+    def add(self, child):
+        self.children.append(child)
+        return child
+
+    def __repr__(self):
+        mark = "*" if self.projected else ""
+        return f"PatternNode({self.term!r}{mark}, {self.relationship})"
+
+
+class Pattern:
+    """A rooted pattern tree plus helpers for the join."""
+
+    def __init__(self, root):
+        self.root = root
+        self._nodes = list(self._preorder(root))
+        if not any(n.projected for n in self._nodes):
+            root.projected = True
+
+    @staticmethod
+    def _preorder(node):
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(reversed(current.children))
+
+    def nodes(self):
+        """Pre-order node list; index 0 is the root."""
+        return list(self._nodes)
+
+    def edges(self):
+        """``(parent_index, child_index, relationship)`` triples."""
+        index_of = {id(n): i for i, n in enumerate(self._nodes)}
+        out = []
+        for i, node in enumerate(self._nodes):
+            for child in node.children:
+                out.append((i, index_of[id(child)], child.relationship))
+        return out
+
+    def projected_index(self):
+        for i, node in enumerate(self._nodes):
+            if node.projected:
+                return i
+        return 0
+
+    @classmethod
+    def from_path(cls, path, value=None, project_last=True):
+        """Build a chain pattern from a path expression.
+
+        ``Pattern.from_path("restaurant/name", value="Napoli")`` produces::
+
+            restaurant --child--> name --contains--> napoli
+
+        with the *first* step projected unless ``project_last`` — queries
+        like ``SELECT R ... WHERE R/name="Napoli"`` want the top element
+        back, so the planner projects the first step and that is the
+        default the executor uses (``project_last=False``).
+
+        ``value`` may tokenize to several words; each becomes a containment
+        child of the last step.  Wildcard steps cannot be translated to
+        index terms and raise :class:`~repro.errors.QueryPlanError` (the
+        planner then falls back to navigational evaluation).
+        """
+        compiled = path if isinstance(path, Path) else Path(path)
+        if compiled.is_empty:
+            raise QueryPlanError("cannot build a pattern from an empty path")
+        nodes = []
+        for step in compiled.steps:
+            if step.tag == "*":
+                raise QueryPlanError(
+                    "wildcard steps cannot be evaluated by pattern scan"
+                )
+            relationship = "child" if step.axis == CHILD else "descendant"
+            nodes.append(PatternNode(step.tag, "element", relationship))
+        for parent, child in zip(nodes, nodes[1:]):
+            parent.add(child)
+        if value is not None:
+            for word in tokenize(str(value)):
+                nodes[-1].add(PatternNode(word, "word", "contains"))
+        target = nodes[-1] if project_last else nodes[0]
+        target.projected = True
+        return cls(nodes[0])
+
+    def __repr__(self):
+        return f"Pattern({[n.term for n in self._nodes]})"

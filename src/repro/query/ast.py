@@ -1,0 +1,228 @@
+"""Abstract syntax for TXQL queries.
+
+Plain dataclasses; every expression node knows how to ``label()`` itself
+(the column heading in result sets) and exposes ``walk()`` for the planner's
+predicate analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..clock import format_timestamp
+
+#: Sentinel for the EVERY time qualifier.
+EVERY = "EVERY"
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def label(self):
+        raise NotImplementedError
+
+    def walk(self):
+        """Yield self and all descendant expressions."""
+        yield self
+
+
+@dataclass
+class Literal(Expr):
+    """String or numeric constant."""
+
+    value: object
+
+    def label(self):
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass
+class DateLiteral(Expr):
+    """A calendar instant, held as a timestamp."""
+
+    ts: int
+
+    def label(self):
+        return format_timestamp(self.ts)
+
+
+@dataclass
+class NowLiteral(Expr):
+    """``NOW`` — resolved to the store clock at execution time."""
+
+    def label(self):
+        return "NOW"
+
+
+@dataclass
+class IntervalLiteral(Expr):
+    """A duration (``14 DAYS``), held in seconds."""
+
+    seconds: int
+    text: str = ""
+
+    def label(self):
+        return self.text or f"{self.seconds} SECONDS"
+
+
+@dataclass
+class VarPath(Expr):
+    """A variable optionally navigated by a path: ``R`` or ``R/price``."""
+
+    var: str
+    path: str = ""
+
+    def label(self):
+        if not self.path:
+            return self.var
+        separator = "" if self.path.startswith("/") else "/"
+        return f"{self.var}{separator}{self.path}"
+
+
+@dataclass
+class FuncCall(Expr):
+    """Function application: TIME, CREATE TIME, PREVIOUS, SUM, DIFF, ..."""
+
+    name: str
+    args: list = field(default_factory=list)
+
+    def label(self):
+        inner = ", ".join(a.label() for a in self.args)
+        return f"{self.name}({inner})"
+
+    def walk(self):
+        yield self
+        for arg in self.args:
+            yield from arg.walk()
+
+
+@dataclass
+class PathApply(Expr):
+    """A path applied to a computed expression: ``CURRENT(R)/name``.
+
+    The paper's Section 6.1 example ``SELECT DISTINCT CURRENT(R)/name``
+    navigates from a function result; ``base`` is any expression producing
+    an element (or None), ``path`` the downward path to apply.
+    """
+
+    base: Expr
+    path: str
+
+    def label(self):
+        separator = "" if self.path.startswith("/") else "/"
+        return f"{self.base.label()}{separator}{self.path}"
+
+    def walk(self):
+        yield self
+        yield from self.base.walk()
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operator: comparisons, AND/OR, time arithmetic."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def label(self):
+        return f"{self.left.label()} {self.op} {self.right.label()}"
+
+    def walk(self):
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+
+@dataclass
+class NotOp(Expr):
+    expr: Expr
+
+    def label(self):
+        return f"NOT {self.expr.label()}"
+
+    def walk(self):
+        yield self
+        yield from self.expr.walk()
+
+
+@dataclass
+class FromItem:
+    """One binding source: ``doc("url")[timespec]/path VAR``.
+
+    ``time_spec`` is ``None`` (current snapshot), the :data:`EVERY`
+    sentinel, or an expression evaluating to a timestamp.
+    """
+
+    url: str
+    time_spec: object
+    path: str
+    var: str
+
+    def label(self):
+        qualifier = ""
+        if self.time_spec is EVERY:
+            qualifier = "[EVERY]"
+        elif self.time_spec is not None:
+            qualifier = f"[{self.time_spec.label()}]"
+        if self.path:
+            separator = "" if self.path.startswith("/") else "/"
+            suffix = f"{separator}{self.path}"
+        else:
+            suffix = ""
+        return f'doc("{self.url}"){qualifier}{suffix} {self.var}'
+
+
+@dataclass
+class Query:
+    """A full SELECT/FROM/WHERE query."""
+
+    select_items: list
+    from_items: list
+    where: Expr = None
+    distinct: bool = False
+
+    def label(self):
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(e.label() for e in self.select_items))
+        parts.append("FROM")
+        parts.append(", ".join(f.label() for f in self.from_items))
+        if self.where is not None:
+            parts.append("WHERE")
+            parts.append(self.where.label())
+        return " ".join(parts)
+
+    def variables(self):
+        return [item.var for item in self.from_items]
+
+
+#: Aggregate function names (checked by parser and executor).
+AGGREGATES = frozenset({"SUM", "COUNT", "AVG", "MIN", "MAX"})
+
+#: Two-word function spellings normalized by the parser.
+FUNCTIONS = frozenset(
+    {
+        "TIME",
+        "CREATE_TIME",
+        "DELETE_TIME",
+        "DOCTIME",
+        "PREVIOUS",
+        "NEXT",
+        "CURRENT",
+        "DIFF",
+        "SIMILARITY",
+        "EXISTS",
+    }
+) | AGGREGATES
+
+
+def is_aggregate_expr(expr):
+    """True if ``expr`` contains an aggregate call anywhere."""
+    return any(
+        isinstance(node, FuncCall) and node.name in AGGREGATES
+        for node in expr.walk()
+    )

@@ -1,0 +1,396 @@
+"""Query execution: binding enumeration → WHERE → SELECT.
+
+The :class:`QueryEngine` ties the pieces together: the planner produces
+per-variable binding lists (index or navigational scans), the executor
+forms their product, filters with the WHERE evaluator, and builds the
+result — either a projection per row or a single aggregate row.
+
+Results are delivered as a :class:`ResultSet`, which renders to the
+``<results><result>...`` envelope the paper assumes ("the results of an
+outer query is delivered as default in a document with enclosing tags named
+results"), or as plain Python rows for programmatic use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..equality.value import coerce_scalar
+from ..errors import QueryPlanError
+from ..xmlcore.node import Element, Text
+from ..xmlcore.serializer import serialize
+from .ast import AGGREGATES, FuncCall, Query, is_aggregate_expr
+from .functions import Evaluator
+from .parser import parse_query
+from .planner import bind_from_item
+from .rewriter import rewrite
+from .values import (
+    BoundElement,
+    NodeValue,
+    SnapshotCache,
+    TimestampValue,
+    as_node,
+)
+
+
+@dataclass
+class QueryOptions:
+    """Execution knobs (benchmarks flip these for the ablations).
+
+    ``use_pattern_index``
+        Evaluate FROM items through the temporal FTI when possible
+        (Section 7.3's algorithms); off = always reconstruct and navigate.
+    ``lifetime_strategy``
+        ``"index"`` or ``"traverse"`` for CREATE TIME / DELETE TIME
+        (the two strategies of Section 7.3.6).
+    ``similarity_threshold``
+        Decision threshold of the ``~`` operator.
+    ``use_rewriter``
+        Apply the algebraic rewriter (time-range pushdown, constant
+        folding) before planning — the Section 8 future-work feature;
+        benchmark E11 measures what it saves.
+    """
+
+    use_pattern_index: bool = True
+    lifetime_strategy: str = "traverse"
+    similarity_threshold: float = 0.7
+    use_rewriter: bool = True
+
+
+class ResultSet:
+    """Materialized query results: named columns, plain-value rows."""
+
+    def __init__(self, columns, rows):
+        self.columns = columns
+        self.rows = rows
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalars(self, column=None):
+        """All values of one column (default: the only column)."""
+        name = column if column is not None else self._single_column()
+        return [row[name] for row in self.rows]
+
+    def scalar(self, column=None):
+        """The single value of a single-row result (aggregates)."""
+        values = self.scalars(column)
+        if len(values) != 1:
+            raise QueryPlanError(
+                f"scalar() on a result with {len(values)} rows"
+            )
+        return values[0]
+
+    def _single_column(self):
+        if len(self.columns) != 1:
+            raise QueryPlanError("result has more than one column")
+        return self.columns[0]
+
+    def to_xml(self):
+        """The ``<results><result>...`` envelope of Section 5."""
+        envelope = Element("results")
+        for row in self.rows:
+            result = Element("result")
+            for name in self.columns:
+                result.append(_render_value(name, row[name]))
+            envelope.append(result)
+        return envelope
+
+    def to_xml_string(self, indent=2):
+        return serialize(self.to_xml(), indent=indent)
+
+    def __str__(self):
+        """Plain-text table (used by the benchmark harness printouts)."""
+        headers = list(self.columns)
+        table = [
+            [_plain_text(row[name]) for name in headers] for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in table), 1)
+            if table
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in table:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Executes TXQL against a store and its indexes."""
+
+    def __init__(self, store, fti=None, lifetime=None, options=None):
+        self.store = store
+        self.fti = fti
+        self.lifetime = lifetime
+        self.options = options if options is not None else QueryOptions()
+        if self.options.lifetime_strategy == "index" and lifetime is None:
+            raise QueryPlanError(
+                "lifetime_strategy='index' requires a LifetimeIndex"
+            )
+        self._evaluator = Evaluator(self)
+        #: Materialization cache of the query being executed (one per
+        #: execute() call; bindings keep a reference, so results stay valid
+        #: after the call returns).
+        self.active_cache = None
+
+    # -- time context ------------------------------------------------------------
+
+    def now(self):
+        return self.store.clock.now()
+
+    def horizon_start(self):
+        """Lower bound for EVERY scans (before any stored version)."""
+        from ..clock import BEFORE_TIME
+
+        return BEFORE_TIME + 1
+
+    def horizon_end(self):
+        from ..clock import UNTIL_CHANGED
+
+        return UNTIL_CHANGED - 1
+
+    def resolve_time(self, time_spec):
+        """Timestamp of a FROM qualifier (``None`` = current time)."""
+        if time_spec is None:
+            return self.now()
+        value = self._evaluator.eval(time_spec, {})
+        if not isinstance(value, int):
+            raise QueryPlanError(
+                f"time qualifier did not evaluate to a timestamp: {value!r}"
+            )
+        return int(value)
+
+    # -- plan inspection ----------------------------------------------------------
+
+    def explain(self, query):
+        """Describe the plan for a query without executing it.
+
+        Returns a list of per-FROM-item dicts (see
+        :func:`repro.query.planner.explain_from_item`); ``explain_text``
+        renders the same information as a readable block.
+        """
+        from .planner import explain_from_item
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        windows = {}
+        if self.options.use_rewriter:
+            query, windows = rewrite(query, now=self.now())
+        return [
+            explain_from_item(self, item, query.where,
+                              window=windows.get(item.var))
+            for item in query.from_items
+        ]
+
+    def explain_text(self, query):
+        """Human-readable plan description."""
+        lines = []
+        for info in self.explain(query):
+            lines.append(f"{info['variable']}: {info['source']}")
+            lines.append(f"  strategy: {info['strategy']}")
+            for key in ("operator", "pattern", "pushdown", "window",
+                        "documents", "reason"):
+                if key in info:
+                    lines.append(f"  {key}: {info[key]}")
+        return "\n".join(lines)
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, query):
+        """Run a query (TXQL text or parsed AST); returns a ResultSet."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not isinstance(query, Query):
+            raise QueryPlanError("execute() takes TXQL text or a Query")
+
+        windows = {}
+        if self.options.use_rewriter:
+            query, windows = rewrite(query, now=self.now())
+        self.active_cache = SnapshotCache(self.store)
+        binding_lists = [
+            bind_from_item(self, item, query.where,
+                           window=windows.get(item.var))
+            for item in query.from_items
+        ]
+        variables = query.variables()
+        rows = self._filtered_rows(variables, binding_lists, query.where)
+
+        aggregates = [is_aggregate_expr(e) for e in query.select_items]
+        if any(aggregates):
+            if not all(aggregates):
+                raise QueryPlanError(
+                    "cannot mix aggregate and non-aggregate SELECT items"
+                )
+            return self._aggregate(query, rows)
+        return self._project(query, rows)
+
+    def _filtered_rows(self, variables, binding_lists, where):
+        for combination in product(*binding_lists):
+            row = dict(zip(variables, combination))
+            if where is None or self._evaluator.predicate(where, row):
+                yield row
+
+    def _project(self, query, rows):
+        columns = [item.label() for item in query.select_items]
+        out = []
+        seen = set()
+        for row in rows:
+            values = {
+                label: self._evaluator.eval(item, row)
+                for label, item in zip(columns, query.select_items)
+            }
+            if query.distinct:
+                key = tuple(_distinct_key(values[c]) for c in columns)
+                if key in seen:
+                    continue
+                seen.add(key)
+            out.append(values)
+        return ResultSet(columns, out)
+
+    def _aggregate(self, query, rows):
+        columns = [item.label() for item in query.select_items]
+        specs = []
+        for item in query.select_items:
+            if not (isinstance(item, FuncCall) and item.name in AGGREGATES):
+                raise QueryPlanError(
+                    "aggregates must be top-level SELECT items"
+                )
+            if len(item.args) != 1:
+                raise QueryPlanError(f"{item.name} takes exactly one argument")
+            specs.append((item.name, item.args[0]))
+
+        accumulators = [[] for _ in specs]
+        for row in rows:
+            for acc, (_name, arg) in zip(accumulators, specs):
+                value = self._evaluator.eval(arg, row)
+                acc.extend(_aggregatable(value))
+        values = {
+            label: _finish_aggregate(name, acc)
+            for label, (name, _arg), acc in zip(columns, specs, accumulators)
+        }
+        return ResultSet(columns, [values])
+
+
+# -- aggregation helpers ------------------------------------------------------------
+
+
+def _aggregatable(value):
+    """Flatten one row's contribution to an aggregate into scalar values.
+
+    A bare variable binding contributes the sentinel ``1`` *without
+    materializing its tree* — this is the reading under which the paper's
+    Q2 (``SELECT SUM(R)`` to "retrieve the number of restaurants") is
+    well-typed AND needs no document reconstruction ("this is important,
+    and shows that in many cases the storage of only deltas ... does not
+    create performance problems").  Path-selected values (``SUM(R/price)``)
+    coerce numerically.
+    """
+    if value is None:
+        return []
+    if isinstance(value, list):
+        out = []
+        for item in value:
+            out.extend(_aggregatable(item))
+        return out
+    if isinstance(value, BoundElement):
+        return [1]
+    if isinstance(value, NodeValue):
+        scalar = coerce_scalar(as_node(value))
+        return [scalar if isinstance(scalar, (int, float)) else 1]
+    if isinstance(value, (int, float)):
+        return [value]
+    scalar = coerce_scalar(value)
+    return [scalar if isinstance(scalar, (int, float)) else 1]
+
+
+def _finish_aggregate(name, values):
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values)
+    return max(values)
+
+
+# -- rendering helpers -----------------------------------------------------------------
+
+
+def _render_value(label, value):
+    holder = Element("value", {"of": label})
+    _render_into(holder, value)
+    if (
+        len(holder.children) == 1
+        and isinstance(holder.children[0], Element)
+    ):
+        # A single element result is delivered directly (paper examples show
+        # the selected element inside <result> without extra wrapping).
+        child = holder.children[0]
+        child.detach()
+        return child
+    return holder
+
+
+def _render_into(holder, value):
+    if value is None:
+        return
+    if isinstance(value, list):
+        for item in value:
+            _render_into(holder, item)
+        return
+    if isinstance(value, BoundElement):
+        holder.append(value.tree.copy())
+        return
+    if isinstance(value, NodeValue):
+        holder.append(value.node.copy())
+        return
+    if isinstance(value, Element):
+        holder.append(value.copy())
+        return
+    if isinstance(value, Text):
+        holder.append(value.copy())
+        return
+    holder.append(Text(str(value)))
+
+
+def _plain_text(value):
+    if value is None:
+        return ""
+    if isinstance(value, list):
+        return ", ".join(_plain_text(v) for v in value)
+    if isinstance(value, (BoundElement, NodeValue)):
+        node = as_node(value)
+        if isinstance(node, Element):
+            return serialize(node)
+        return node.value
+    if isinstance(value, Element):
+        return serialize(value)
+    if isinstance(value, TimestampValue):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _distinct_key(value):
+    if isinstance(value, list):
+        return tuple(_distinct_key(v) for v in value)
+    if isinstance(value, (BoundElement, NodeValue)):
+        node = as_node(value)
+        return serialize(node) if isinstance(node, Element) else node.value
+    if isinstance(value, Element):
+        return serialize(value)
+    return value

@@ -1,0 +1,124 @@
+"""Tokenizer for TXQL.
+
+Produces a flat token list; the parser is a recursive-descent consumer.
+Date literals (``26/01/2001``) are recognized at the lexer level so the
+parser never confuses them with path separators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+
+# Token kinds.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+DATE = "DATE"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+#: Keywords are uppercased IDENTs; the parser matches them case-insensitively.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "EVERY",
+        "NOW",
+        "AS",
+        "DOC",
+    }
+)
+
+_SYMBOLS = (
+    "//",
+    "<=",
+    ">=",
+    "!=",
+    "==",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    "/",
+    "=",
+    "<",
+    ">",
+    "~",
+    "+",
+    "-",
+    "*",
+)
+
+_DATE_RE = re.compile(r"\d{1,2}/\d{1,2}/\d{4}")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_:.]*")
+_WS_RE = re.compile(r"\s+")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word):
+        return self.kind == IDENT and self.value.upper() == word
+
+    def is_symbol(self, symbol):
+        return self.kind == SYMBOL and self.value == symbol
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize_query(text):
+    """Tokenize ``text``; raises :class:`QuerySyntaxError` on junk."""
+    tokens = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ws = _WS_RE.match(text, pos)
+        if ws:
+            pos = ws.end()
+            continue
+        ch = text[pos]
+        if ch in "\"'":
+            end = text.find(ch, pos + 1)
+            if end < 0:
+                raise QuerySyntaxError("unterminated string literal", pos)
+            tokens.append(Token(STRING, text[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        date = _DATE_RE.match(text, pos)
+        if date:
+            tokens.append(Token(DATE, date.group(), pos))
+            pos = date.end()
+            continue
+        number = _NUMBER_RE.match(text, pos)
+        if number:
+            tokens.append(Token(NUMBER, number.group(), pos))
+            pos = number.end()
+            continue
+        ident = _IDENT_RE.match(text, pos)
+        if ident:
+            tokens.append(Token(IDENT, ident.group(), pos))
+            pos = ident.end()
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, pos):
+                tokens.append(Token(SYMBOL, symbol, pos))
+                pos += len(symbol)
+                break
+        else:
+            raise QuerySyntaxError(f"unexpected character {ch!r}", pos)
+    tokens.append(Token(EOF, "", length))
+    return tokens

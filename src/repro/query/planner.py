@@ -1,0 +1,361 @@
+"""FROM-clause planning: index scans vs. navigational scans.
+
+For every FROM item the planner picks one of two strategies:
+
+**Index scan** (the paper's intended execution): compile the item's path —
+plus any pushable value predicate from the WHERE clause — into a pattern
+tree and run ``TPatternScan`` (snapshot) or ``TPatternScanAll`` (EVERY)
+over the temporal FTI.  Only the matching rows' documents are ever
+reconstructed, and aggregate-only queries like Q2 may reconstruct nothing
+at all ("this is important, and shows that in many cases the storage of
+only deltas ... does not create performance problems").
+
+**Navigational scan** (fallback and baseline): reconstruct the relevant
+document version(s) and walk the path.  Used when there is no FTI, the
+path is empty or contains wildcards, or the engine is configured with
+``use_pattern_index=False`` (benchmark E8's stratum-style execution).
+
+A pushed-down predicate is only a pre-filter: the WHERE clause is always
+re-evaluated, so pushing a conjunct can never change results, only costs.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+
+from ..clock import Interval
+from ..errors import NoSuchDocumentError, QueryPlanError
+from ..model.identifiers import TEID
+from ..operators.history import DocHistory
+from ..index.postings import tokenize
+from ..operators.tpatternscan import TPatternScan, TPatternScanAll
+from ..pattern.tree import Pattern, PatternNode
+from ..xmlcore.path import CHILD, Path
+from .ast import EVERY, BinOp, Literal, VarPath
+from .values import BoundElement
+
+
+def bind_from_item(engine, item, where, window=None):
+    """Produce the list of :class:`BoundElement` bindings for a FROM item.
+
+    ``window`` is an optional rewriter-derived
+    :class:`~repro.query.rewriter.TimeWindow` restricting which versions an
+    EVERY binding may produce (snapshot bindings ignore it — their single
+    version is re-checked by the WHERE clause anyway).
+    """
+    if window is not None and window.is_empty:
+        return []
+    doc_ids = _resolve_documents(engine.store, item.url)
+    if not doc_ids:
+        return []
+    use_index = (
+        engine.options.use_pattern_index
+        and engine.fti is not None
+        and item.path
+        and "*" not in item.path
+    )
+    if use_index:
+        try:
+            return _index_bindings(engine, item, where, doc_ids, window)
+        except QueryPlanError:
+            pass  # fall back to navigation (e.g. unindexable term)
+    return _nav_bindings(engine, item, doc_ids, window)
+
+
+def explain_from_item(engine, item, where, window=None):
+    """Describe (without executing) the plan chosen for one FROM item.
+
+    Returns a dict with ``strategy`` (``"index"`` / ``"navigate"`` /
+    ``"empty"`` / ``"error"``), the document count, and — for index plans —
+    the pattern terms and any pushed-down predicate; for EVERY items the
+    rewriter window, when one applies.
+    """
+    info = {"variable": item.var, "source": item.label()}
+    if window is not None and window.is_empty:
+        info["strategy"] = "empty"
+        info["reason"] = "rewriter window is empty"
+        return info
+    try:
+        doc_ids = _resolve_documents(engine.store, item.url)
+    except NoSuchDocumentError:
+        info["strategy"] = "error"
+        info["reason"] = f"unknown document {item.url!r}"
+        return info
+    info["documents"] = len(doc_ids)
+    use_index = (
+        engine.options.use_pattern_index
+        and engine.fti is not None
+        and item.path
+        and "*" not in item.path
+    )
+    if use_index:
+        pushdown = _pushable_value(item.var, where)
+        try:
+            pattern = _build_pattern(Path(item.path).steps, pushdown)
+        except QueryPlanError as exc:
+            info["strategy"] = "navigate"
+            info["reason"] = str(exc)
+        else:
+            info["strategy"] = "index"
+            info["operator"] = (
+                "TPatternScanAll"
+                if item.time_spec is EVERY
+                else "TPatternScan"
+            )
+            info["pattern"] = [n.term for n in pattern.nodes()]
+            if pushdown is not None:
+                info["pushdown"] = str(pushdown[1])
+    else:
+        info["strategy"] = "navigate"
+        if not item.path:
+            info["reason"] = "no path (binds the document root)"
+        elif "*" in item.path:
+            info["reason"] = "wildcard step is not indexable"
+        elif engine.fti is None:
+            info["reason"] = "no full-text index attached"
+        else:
+            info["reason"] = "pattern index disabled"
+    if window is not None and item.time_spec is EVERY:
+        info["window"] = str(window)
+    return info
+
+
+# -- document resolution ---------------------------------------------------------
+
+
+def _resolve_documents(store, url):
+    """Doc ids named by ``url``; ``*``/``?`` make it a glob over all names."""
+    if any(ch in url for ch in "*?["):
+        return [
+            store.doc_id(name)
+            for name in store.documents(include_deleted=True)
+            if fnmatch(name, url)
+        ]
+    try:
+        return [store.doc_id(url)]
+    except NoSuchDocumentError:
+        raise NoSuchDocumentError(
+            f"query references unknown document {url!r}"
+        ) from None
+
+
+# -- index strategy ----------------------------------------------------------------
+
+
+def _index_bindings(engine, item, where, doc_ids, window=None):
+    pushdown = _pushable_value(item.var, where)
+    steps = Path(item.path).steps
+    pattern = _build_pattern(steps, pushdown)
+    projected = pattern.projected_index()
+
+    if item.time_spec is EVERY:
+        scan = TPatternScanAll(engine.fti, pattern, docs=doc_ids,
+                               store=engine.store)
+        return _expand_interval_matches(
+            engine, scan.run(), pattern, projected, steps, window
+        )
+
+    ts = engine.resolve_time(item.time_spec)
+    scan = TPatternScan(engine.fti, pattern, ts, docs=doc_ids,
+                        store=engine.store)
+    bindings = []
+    for match in scan.run():
+        posting = match.postings[projected]
+        if not _anchored(posting.path, steps):
+            continue
+        dindex = engine.store.delta_index(match.doc_id)
+        entry = dindex.version_at(ts)
+        if entry is None:
+            continue
+        teid = TEID(match.doc_id, posting.xid, entry.timestamp)
+        interval = Interval(entry.timestamp, dindex.end_of(entry))
+        bindings.append(
+            BoundElement(engine.store, teid, interval,
+                         cache=engine.active_cache)
+        )
+    return bindings
+
+
+def _expand_interval_matches(engine, matches, pattern, projected, steps,
+                             window=None):
+    """EVERY: one binding per document version covered by a match interval.
+
+    The rewriter's time window clips the expansion — versions outside it
+    are never reconstructed (the Section 8 delta-read reduction)."""
+    bindings = []
+    for match in matches:
+        posting = match.postings[projected]
+        if not _anchored(posting.path, steps):
+            continue
+        start = match.interval.start
+        end = match.interval.end
+        if window is not None:
+            start = max(start, window.start)
+            end = min(end, window.end)
+            if start >= end:
+                continue
+        dindex = engine.store.delta_index(match.doc_id)
+        for entry in dindex.versions_in(start, end):
+            teid = TEID(match.doc_id, posting.xid, entry.timestamp)
+            interval = Interval(entry.timestamp, dindex.end_of(entry))
+            bindings.append(
+                BoundElement(engine.store, teid, interval,
+                             cache=engine.active_cache)
+            )
+    # A document version may satisfy the pattern through several postings
+    # of the same element (or several match intervals); deduplicate.
+    unique = {}
+    for binding in bindings:
+        unique.setdefault(binding.teid, binding)
+    return sorted(unique.values(), key=lambda b: (b.teid.doc_id,
+                                                  b.teid.timestamp,
+                                                  b.teid.xid))
+
+
+def _build_pattern(from_steps, pushdown):
+    """Pattern tree: the FROM path chain (last step projected — that is the
+    element the variable binds to) with an optional predicate chain and its
+    value words hanging below it."""
+    nodes = [
+        PatternNode(
+            step.tag,
+            "element",
+            "child" if step.axis == CHILD else "descendant",
+        )
+        for step in from_steps
+    ]
+    for parent, child in zip(nodes, nodes[1:]):
+        parent.add(child)
+    nodes[-1].projected = True
+
+    if pushdown is not None:
+        pred_steps, value = pushdown
+        anchor = nodes[-1]
+        for step in pred_steps:
+            anchor = anchor.add(
+                PatternNode(
+                    step.tag,
+                    "element",
+                    "child" if step.axis == CHILD else "descendant",
+                )
+            )
+        for word in tokenize(str(value)):
+            anchor.add(PatternNode(word, "word", "contains"))
+    return Pattern(nodes[0])
+
+
+def _pushable_value(var, where):
+    """A ``R/path = literal`` conjunct of the WHERE clause, returned as
+    ``(path_steps, literal)`` — safe to push into the pattern as containment
+    (the WHERE clause re-verifies exactly, so this is only a pre-filter)."""
+    if where is None:
+        return None
+    for conjunct in _conjuncts(where):
+        if not isinstance(conjunct, BinOp) or conjunct.op != "=":
+            continue
+        sides = [conjunct.left, conjunct.right]
+        for this, other in (sides, reversed(sides)):
+            if (
+                isinstance(this, VarPath)
+                and this.var == var
+                and "*" not in this.path
+                and isinstance(other, Literal)
+                and tokenize(str(other.value))
+            ):
+                return (Path(this.path).steps if this.path else [],
+                        other.value)
+    return None
+
+
+def _conjuncts(expr):
+    if isinstance(expr, BinOp) and expr.op == "AND":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _anchored(tag_path, steps):
+    """Does the posting's root-to-element tag path match the FROM path?
+
+    ``tag_path`` includes the document root segment; the steps are relative
+    to the root.  The pattern join already guarantees the steps *below* the
+    projected element, so this check anchors the element at the right depth
+    (a bare FTI match could sit anywhere in the document).
+    """
+    segments = tag_path.split("/")
+    return _match_segments(segments, 1, steps, 0)
+
+
+def _match_segments(segments, seg_index, steps, step_index):
+    if step_index == len(steps):
+        return seg_index == len(segments)
+    step = steps[step_index]
+    if step.axis == CHILD:
+        return (
+            seg_index < len(segments)
+            and (step.tag == "*" or segments[seg_index] == step.tag)
+            and _match_segments(segments, seg_index + 1, steps, step_index + 1)
+        )
+    for j in range(seg_index, len(segments)):
+        if step.tag == "*" or segments[j] == step.tag:
+            if _match_segments(segments, j + 1, steps, step_index + 1):
+                return True
+    return False
+
+
+# -- navigational strategy ----------------------------------------------------------------
+
+
+def _nav_bindings(engine, item, doc_ids, window=None):
+    path = Path(item.path) if item.path else None
+    bindings = []
+    if item.time_spec is EVERY:
+        start = engine.horizon_start()
+        end = engine.horizon_end()
+        if window is not None:
+            start = max(start, window.start)
+            end = min(end, window.end)
+        for doc_id in doc_ids:
+            history = DocHistory(engine.store, doc_id, start, end)
+            dindex = engine.store.delta_index(doc_id)
+            for teid, tree in history:
+                entry = dindex.version_at(teid.timestamp)
+                interval = Interval(entry.timestamp, dindex.end_of(entry))
+                bindings.extend(
+                    _bind_tree(engine, doc_id, tree, path, teid.timestamp,
+                               interval)
+                )
+        bindings.reverse()  # oldest first, matching the index plan's order
+        return bindings
+
+    ts = engine.resolve_time(item.time_spec)
+    for doc_id in doc_ids:
+        tree = (
+            engine.active_cache.document_at(doc_id, ts)
+            if engine.active_cache is not None
+            else engine.store.snapshot(doc_id, ts)
+        )
+        if tree is None:
+            continue
+        dindex = engine.store.delta_index(doc_id)
+        entry = dindex.version_at(ts)
+        interval = Interval(entry.timestamp, dindex.end_of(entry))
+        bindings.extend(
+            _bind_tree(engine, doc_id, tree, path, entry.timestamp, interval)
+        )
+    return bindings
+
+
+def _bind_tree(engine, doc_id, tree, path, version_ts, interval):
+    elements = [tree] if path is None else path.select(tree)
+    return [
+        BoundElement(
+            engine.store,
+            TEID(doc_id, element.xid, version_ts),
+            interval,
+            tree=element,
+            cache=engine.active_cache,
+        )
+        for element in elements
+    ]

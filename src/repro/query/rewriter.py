@@ -1,0 +1,221 @@
+"""Algebraic query rewriting (the paper's Section 8 future work).
+
+"The main goal in this context would be to develop techniques that can
+reduce the number of delta versions that have to be retrieved.  Two
+important strategies ... new types of indexes and algebraic rewriting
+techniques."
+
+The rewriter operates on parsed queries before planning.  Rules:
+
+**R1 — constant folding of time arithmetic.**  ``26/01/2001 + 2 WEEKS`` and
+``NOW - 14 DAYS`` (given the clock) become date literals, so later rules
+can see through them.
+
+**R2 — time-range pushdown.**  A conjunct ``TIME(R) >= c`` (or ``>``,
+``<=``, ``<``, ``=``) constrains which versions an ``[EVERY]`` binding can
+produce.  The rule intersects all such conjuncts into a per-variable
+``[start, end)`` window, which the planner then applies to the version
+enumeration — versions outside the window are neither reconstructed nor
+expanded from match intervals.  The predicate itself is *kept* in the WHERE
+clause (the window is a superset restriction over half-open version
+validity, so re-checking costs nothing and guarantees soundness).
+
+**R3 — point collapse.**  When the window of an ``[EVERY]`` binding pins a
+single instant (``TIME(R) = c``), the binding becomes a snapshot binding at
+``c`` — the cheapest possible plan.
+
+Rewriting never changes results (asserted by tests and the E11 benchmark);
+it only shrinks the set of versions touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import BEFORE_TIME, UNTIL_CHANGED
+from .ast import (
+    EVERY,
+    BinOp,
+    DateLiteral,
+    FromItem,
+    FuncCall,
+    IntervalLiteral,
+    NowLiteral,
+    Query,
+    VarPath,
+)
+
+_TIME_COMPARISONS = ("<", "<=", ">", ">=", "=")
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """Half-open ``[start, end)`` restriction on version timestamps."""
+
+    start: int = BEFORE_TIME
+    end: int = UNTIL_CHANGED
+
+    def intersect(self, other):
+        return TimeWindow(
+            max(self.start, other.start), min(self.end, other.end)
+        )
+
+    @property
+    def is_unbounded(self):
+        return self.start <= BEFORE_TIME and self.end >= UNTIL_CHANGED
+
+    @property
+    def is_empty(self):
+        return self.start >= self.end
+
+    def pins_instant(self):
+        """The single instant this window can contain, if derived from an
+        equality conjunct (start == the instant, end == instant + 1)."""
+        if self.end == self.start + 1:
+            return self.start
+        return None
+
+    def __str__(self):
+        from ..clock import format_timestamp
+
+        return f"[{format_timestamp(self.start)}, {format_timestamp(self.end)})"
+
+
+def rewrite(query, now=None):
+    """Apply all rules; returns ``(query', windows)``.
+
+    ``windows`` maps variable names to :class:`TimeWindow` restrictions for
+    the planner (only variables with an actual restriction appear).  The
+    input query is not mutated.
+    """
+    folded_where = _fold(query.where, now)
+    select_items = [_fold(item, now) for item in query.select_items]
+    windows = _extract_windows(folded_where, now)
+
+    from_items = []
+    for item in query.from_items:
+        window = windows.get(item.var)
+        time_spec = item.time_spec
+        if time_spec is EVERY and window is not None:
+            instant = window.pins_instant()
+            if instant is not None:
+                # R3: EVERY pinned to one instant becomes a snapshot.
+                time_spec = DateLiteral(instant)
+                windows.pop(item.var)
+        from_items.append(
+            FromItem(item.url, time_spec, item.path, item.var)
+        )
+    rewritten = Query(select_items, from_items, folded_where, query.distinct)
+    return rewritten, windows
+
+
+# -- R1: constant folding ------------------------------------------------------
+
+
+def _fold(expr, now):
+    if expr is None:
+        return None
+    if isinstance(expr, BinOp):
+        left = _fold(expr.left, now)
+        right = _fold(expr.right, now)
+        if expr.op in ("+", "-"):
+            folded = _fold_arith(expr.op, left, right)
+            if folded is not None:
+                return folded
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, [_fold(a, now) for a in expr.args])
+    if isinstance(expr, NowLiteral) and now is not None:
+        return DateLiteral(now)
+    return expr
+
+
+def _fold_arith(op, left, right):
+    left_ts = left.ts if isinstance(left, DateLiteral) else None
+    if left_ts is None:
+        return None
+    if isinstance(right, IntervalLiteral):
+        amount = right.seconds
+    elif isinstance(right, DateLiteral) and op == "-":
+        # date - date = duration; not a timestamp, leave unfolded.
+        return None
+    else:
+        return None
+    return DateLiteral(left_ts + amount if op == "+" else left_ts - amount)
+
+
+# -- R2: time-range extraction ------------------------------------------------
+
+
+def _extract_windows(where, now):
+    """Per-variable windows from top-level ``TIME(R) cmp const`` conjuncts."""
+    windows = {}
+    if where is None:
+        return windows
+    for conjunct in _conjuncts(where):
+        parsed = _time_conjunct(conjunct)
+        if parsed is None:
+            continue
+        var, op, ts = parsed
+        window = _window_for(op, ts)
+        if window is None:
+            continue
+        current = windows.get(var, TimeWindow())
+        windows[var] = current.intersect(window)
+    return {
+        var: window
+        for var, window in windows.items()
+        if not window.is_unbounded
+    }
+
+
+def _conjuncts(expr):
+    if isinstance(expr, BinOp) and expr.op == "AND":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _time_conjunct(expr):
+    """Match ``TIME(R) cmp <date>`` (either side); returns (var, op, ts)."""
+    if not isinstance(expr, BinOp) or expr.op not in _TIME_COMPARISONS:
+        return None
+    left, right = expr.left, expr.right
+    if _is_time_call(left) and isinstance(right, DateLiteral):
+        return (_time_var(left), expr.op, right.ts)
+    if _is_time_call(right) and isinstance(left, DateLiteral):
+        return (_time_var(right), _mirror(expr.op), left.ts)
+    return None
+
+
+def _is_time_call(expr):
+    return (
+        isinstance(expr, FuncCall)
+        and expr.name == "TIME"
+        and len(expr.args) == 1
+        and isinstance(expr.args[0], VarPath)
+        and not expr.args[0].path
+    )
+
+
+def _time_var(expr):
+    return expr.args[0].var
+
+
+def _mirror(op):
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}[op]
+
+
+def _window_for(op, ts):
+    if op == "<":
+        return TimeWindow(end=ts)
+    if op == "<=":
+        return TimeWindow(end=ts + 1)
+    if op == ">":
+        return TimeWindow(start=ts + 1)
+    if op == ">=":
+        return TimeWindow(start=ts)
+    if op == "=":
+        return TimeWindow(start=ts, end=ts + 1)
+    return None

@@ -1,0 +1,222 @@
+"""Runtime values flowing through query evaluation.
+
+A FROM clause binds each variable to a sequence of :class:`BoundElement`
+instances — element versions identified by TEID, carrying their validity
+interval, and materializing their subtree lazily (pattern-scan plans only
+reconstruct documents for rows that actually reach the SELECT/WHERE
+expressions that need content).
+
+Path navigation inside expressions produces :class:`NodeValue` wrappers so
+identity (``==``) keeps working on sub-elements: a node value knows its
+document and its XID.
+
+Timestamps surface as :class:`TimestampValue` — an ``int`` subtype that
+formats itself as a calendar date, so result sets print readably while
+comparisons and arithmetic stay plain integer operations.
+"""
+
+from __future__ import annotations
+
+from ..clock import format_timestamp
+from ..diff.apply import apply_script
+from ..equality.value import coerce_scalar
+from ..errors import NoSuchVersionError
+from ..model.identifiers import EID
+from ..operators.reconstruct import Reconstruct
+from ..xmlcore.node import Element
+from ..xmlcore.path import Path
+
+
+class SnapshotCache:
+    """Per-query materialization cache (a tiny buffer pool).
+
+    Many bindings of one query often live in the same document version, and
+    EVERY-queries touch *adjacent* versions; reconstructing each binding
+    independently would re-walk the delta chain per row.  The cache keeps
+    every version it has materialized and derives a missing version from the
+    nearest cached neighbour with single delta steps — completed deltas
+    apply both forwards and backwards, so one delta read per step suffices.
+    Historical versions are immutable, so the cache needs no invalidation.
+    """
+
+    def __init__(self, store):
+        self.store = store
+        self._trees = {}  # (doc_id, version_number) -> tree
+
+    def document_at(self, doc_id, ts):
+        """The document tree valid at ``ts`` (``None`` when absent)."""
+        entry = self.store.delta_index(doc_id).version_at(ts)
+        if entry is None:
+            return None
+        return self._version(doc_id, entry.number)
+
+    def subtree(self, teid):
+        """Subtree of the TEID's element, or ``None`` when absent."""
+        tree = self.document_at(teid.doc_id, teid.timestamp)
+        if tree is None:
+            return None
+        for node in tree.iter():
+            if node.xid == teid.xid:
+                return node
+        return None
+
+    def _version(self, doc_id, number):
+        key = (doc_id, number)
+        tree = self._trees.get(key)
+        if tree is not None:
+            return tree
+        record = self.store.record(doc_id)
+        repository = self.store.repository
+        neighbour = self._nearest_cached(doc_id, number)
+        if neighbour is None:
+            tree = repository.reconstruct(record, number)
+        else:
+            tree = self._trees[(doc_id, neighbour)].copy()
+            if neighbour < number:  # roll forward
+                for version in range(neighbour, number):
+                    tree = apply_script(
+                        tree, repository.read_delta(record, version)
+                    )
+            else:  # rewind
+                for version in range(neighbour - 1, number - 1, -1):
+                    script = repository.read_delta(record, version)
+                    tree = apply_script(tree, script.invert())
+        self._trees[key] = tree
+        return tree
+
+    def _nearest_cached(self, doc_id, number):
+        best = None
+        for cached_doc, cached_number in self._trees:
+            if cached_doc != doc_id:
+                continue
+            if best is None or abs(cached_number - number) < abs(
+                best - number
+            ):
+                best = cached_number
+        return best
+
+
+class TimestampValue(int):
+    """An instant in transaction time; ``int`` with calendar rendering."""
+
+    def __str__(self):
+        return format_timestamp(int(self))
+
+    def __repr__(self):
+        return f"TimestampValue({format_timestamp(int(self))})"
+
+
+class NodeValue:
+    """A sub-element (or text node) of a bound tree, with its document."""
+
+    __slots__ = ("doc_id", "node")
+
+    def __init__(self, doc_id, node):
+        self.doc_id = doc_id
+        self.node = node
+
+    @property
+    def eid(self):
+        if self.node.xid is None:
+            return None
+        return EID(self.doc_id, self.node.xid)
+
+    def scalar(self):
+        return coerce_scalar(self.node)
+
+    def __repr__(self):
+        return f"NodeValue({self.doc_id}, {self.node!r})"
+
+
+class BoundElement:
+    """One element version bound to a query variable.
+
+    ``cache`` (a :class:`SnapshotCache`) is shared across the bindings of
+    one query so sibling rows reuse materialized versions.  The returned
+    trees are shared, read-only views; result rendering copies them.
+    """
+
+    __slots__ = ("store", "teid", "interval", "_tree", "cache")
+
+    def __init__(self, store, teid, interval=None, tree=None, cache=None):
+        self.store = store
+        self.teid = teid
+        self.interval = interval
+        self._tree = tree
+        self.cache = cache
+
+    @property
+    def doc_id(self):
+        return self.teid.doc_id
+
+    @property
+    def eid(self):
+        return self.teid.eid
+
+    @property
+    def tree(self):
+        """The element's subtree; reconstructed on first access."""
+        if self._tree is None:
+            tree = self.try_tree()
+            if tree is None:
+                raise NoSuchVersionError(
+                    f"{self.teid} does not resolve to a stored element"
+                )
+        return self._tree
+
+    def try_tree(self):
+        """Like :attr:`tree` but ``None`` on stale TEIDs."""
+        if self._tree is None:
+            if self.cache is not None:
+                self._tree = self.cache.subtree(self.teid)
+            else:
+                try:
+                    self._tree = Reconstruct(self.store, self.teid).run()
+                except NoSuchVersionError:
+                    return None
+        return self._tree
+
+    def select(self, path):
+        """Navigate a path from this element; returns node values."""
+        compiled = path if isinstance(path, Path) else Path(path)
+        if compiled.is_empty:
+            return [NodeValue(self.doc_id, self.tree)]
+        return [
+            NodeValue(self.doc_id, node)
+            for node in compiled.select(self.tree)
+        ]
+
+    def scalar(self):
+        return coerce_scalar(self.tree)
+
+    def __repr__(self):
+        return f"BoundElement({self.teid})"
+
+
+def as_node(value):
+    """Unwrap query values down to a raw tree node (or scalar)."""
+    if isinstance(value, BoundElement):
+        return value.tree
+    if isinstance(value, NodeValue):
+        return value.node
+    return value
+
+
+def expand(value):
+    """Node-set expansion for existential comparison semantics."""
+    if isinstance(value, list):
+        return value
+    return [value]
+
+
+def truth(value):
+    """Predicate truth of an evaluated expression."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, (BoundElement, NodeValue, Element)):
+        return True
+    return bool(value)

@@ -1,0 +1,31 @@
+"""Versioned document storage (Section 7.1 of the paper).
+
+Physical model: each named document is stored as one **complete current
+version** plus a chain of **completed deltas** (applicable both forwards and
+backwards), with optional intermediate **snapshots** every *k* versions.  A
+per-document **delta index** maps version numbers to timestamps and records
+where each delta/snapshot lives.
+
+All placement and access runs through a :class:`~repro.storage.page.DiskSimulator`
+that counts page reads, writes, and seeks — the currency in which the paper
+reasons about operator cost ("each delta read will involve a disk seek in
+the worst case").
+
+The logical entry point is
+:class:`~repro.storage.store.TemporalDocumentStore`.
+"""
+
+from .page import DiskSimulator, Extent
+from .deltaindex import DeltaIndex, VersionEntry
+from .repository import Repository
+from .store import CommitEvent, TemporalDocumentStore
+
+__all__ = [
+    "DiskSimulator",
+    "Extent",
+    "DeltaIndex",
+    "VersionEntry",
+    "Repository",
+    "TemporalDocumentStore",
+    "CommitEvent",
+]

@@ -1,0 +1,172 @@
+"""The per-document delta index (Section 7.1).
+
+"The delta documents are indexed in a delta index (which could be as simple
+as an array).  Each version is numbered ... for each numbered delta, we
+store the timestamp of the actual version in the delta index."
+
+:class:`DeltaIndex` is exactly that array, with binary search over
+timestamps.  It also records which versions have materialized snapshots and
+where every stored object lives on the simulated disk, and it answers the
+version-navigation questions behind the ``PreviousTS`` / ``NextTS`` /
+``CurrentTS`` operators (Section 7.3.7).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ..clock import UNTIL_CHANGED
+from ..errors import NoSuchVersionError
+
+
+@dataclass
+class VersionEntry:
+    """Metadata for one document version.
+
+    ``delta_extent`` locates the completed delta leading from this version to
+    the next one (``None`` for the current version, which has no successor
+    yet).  ``snapshot_extent`` is set when this version is additionally
+    materialized as a full snapshot.  ``full_extent`` is only used by the
+    current version (and by the stratum baseline, which stores every version
+    fully).
+    """
+
+    number: int
+    timestamp: int
+    delta_extent: object = None
+    snapshot_extent: object = None
+    full_extent: object = None
+    delta_bytes: int = 0
+    snapshot_bytes: int = 0
+
+    @property
+    def has_snapshot(self):
+        return self.snapshot_extent is not None
+
+
+@dataclass
+class DeltaIndex:
+    """Ordered version metadata for one document."""
+
+    entries: list = field(default_factory=list)
+    deleted_at: int = None
+
+    # -- maintenance -----------------------------------------------------------
+
+    def append(self, entry):
+        if self.entries:
+            last = self.entries[-1]
+            if entry.number != last.number + 1:
+                raise NoSuchVersionError(
+                    f"version numbers must be contiguous "
+                    f"(got {entry.number} after {last.number})"
+                )
+            if entry.timestamp <= last.timestamp:
+                raise NoSuchVersionError(
+                    "version timestamps must increase strictly"
+                )
+        elif entry.number != 1:
+            raise NoSuchVersionError("first version must be number 1")
+        self.entries.append(entry)
+
+    # -- basic lookups ------------------------------------------------------------
+
+    @property
+    def is_deleted(self):
+        return self.deleted_at is not None
+
+    @property
+    def current_number(self):
+        if not self.entries:
+            raise NoSuchVersionError("document has no versions")
+        return self.entries[-1].number
+
+    def entry(self, number):
+        if not 1 <= number <= len(self.entries):
+            raise NoSuchVersionError(f"no version {number}")
+        return self.entries[number - 1]
+
+    def current(self):
+        return self.entry(self.current_number)
+
+    def created_at(self):
+        return self.entry(1).timestamp
+
+    # -- time-based lookups ----------------------------------------------------------
+
+    def version_at(self, ts):
+        """Entry of the version valid at time ``ts``, or ``None``.
+
+        ``None`` means the document did not exist at ``ts`` (before creation
+        or at/after deletion).
+        """
+        if self.deleted_at is not None and ts >= self.deleted_at:
+            return None
+        timestamps = [e.timestamp for e in self.entries]
+        pos = bisect_right(timestamps, ts)
+        if pos == 0:
+            return None
+        return self.entries[pos - 1]
+
+    def end_of(self, entry):
+        """Exclusive end of ``entry``'s validity interval."""
+        if entry.number < len(self.entries):
+            return self.entries[entry.number].timestamp
+        if self.deleted_at is not None:
+            return self.deleted_at
+        return UNTIL_CHANGED
+
+    def versions_in(self, start, end):
+        """Entries whose validity intervals intersect ``[start, end)``.
+
+        Returned oldest-first; the ``DocHistory`` operator reverses this to
+        match the paper's "most previous versions first" output order.
+        """
+        out = []
+        for entry in self.entries:
+            if entry.timestamp >= end:
+                break
+            if self.end_of(entry) > start:
+                out.append(entry)
+        return out
+
+    # -- version navigation (PreviousTS / NextTS / CurrentTS) ------------------------
+
+    def previous_ts(self, ts):
+        """Timestamp of the version preceding the one valid at ``ts``.
+
+        ``None`` when the version valid at ``ts`` is the first one (or the
+        document did not exist at ``ts``).
+        """
+        entry = self.version_at(ts)
+        if entry is None or entry.number == 1:
+            return None
+        return self.entry(entry.number - 1).timestamp
+
+    def next_ts(self, ts):
+        """Timestamp of the version following the one valid at ``ts``."""
+        entry = self.version_at(ts)
+        if entry is None or entry.number == len(self.entries):
+            return None
+        return self.entry(entry.number + 1).timestamp
+
+    def current_ts(self):
+        """Timestamp of the current version (no input time needed)."""
+        return self.current().timestamp
+
+    # -- snapshot placement -------------------------------------------------------------
+
+    def nearest_snapshot_at_or_after(self, number):
+        """Smallest version >= ``number`` that has a snapshot, else None.
+
+        This is the paper's reconstruction shortcut: "processing start using
+        the oldest snapshot with timestamp greater or equal to t".
+        """
+        for entry in self.entries[number - 1 :]:
+            if entry.has_snapshot:
+                return entry
+        return None
+
+    def __len__(self):
+        return len(self.entries)

@@ -1,0 +1,198 @@
+"""A paged-disk simulator: the cost model underneath the repository.
+
+The paper's performance arguments are stated in terms of disk behaviour:
+"each delta read will involve a disk seek in the worst case" because "deltas
+will in many cases be stored unclustered".  To make those arguments
+measurable we place every stored object (current version, delta, snapshot)
+on a simulated disk of fixed-size pages and count three things:
+
+* ``pages_read`` / ``pages_written`` — transfer volume,
+* ``seeks`` — a read or write whose first page is not the next sequential
+  page after the previous access.
+
+Placement policy:
+
+* ``clustered=True`` — allocations sharing a ``cluster_key`` (we use the
+  document id) are laid out contiguously in a per-key arena, so reading a
+  document's delta chain costs one seek plus sequential transfer;
+* ``clustered=False`` — every allocation lands at a pseudo-random position
+  (deterministic per seed), so every object read costs a seek.  This is the
+  paper's worst case.
+
+``estimated_ms`` converts the counters into a wall-clock estimate with a
+classic seek-time/transfer-time split, which the benchmarks print alongside
+raw counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import StorageError
+
+#: Pages reserved per cluster arena; large enough that arenas never collide
+#: in any workload this library generates.
+_ARENA_PAGES = 1 << 22
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of pages holding one stored object."""
+
+    start_page: int
+    num_pages: int
+
+    @property
+    def end_page(self):
+        return self.start_page + self.num_pages
+
+
+class CounterSnapshot:
+    """Immutable copy of the disk counters, used to measure deltas."""
+
+    __slots__ = ("seeks", "pages_read", "pages_written", "reads", "writes")
+
+    def __init__(self, seeks, pages_read, pages_written, reads, writes):
+        self.seeks = seeks
+        self.pages_read = pages_read
+        self.pages_written = pages_written
+        self.reads = reads
+        self.writes = writes
+
+    def __sub__(self, other):
+        return CounterSnapshot(
+            self.seeks - other.seeks,
+            self.pages_read - other.pages_read,
+            self.pages_written - other.pages_written,
+            self.reads - other.reads,
+            self.writes - other.writes,
+        )
+
+    def estimated_ms(self, seek_ms=8.0, page_ms=0.1):
+        """Classic disk model: seeks dominate, transfer is per page."""
+        total_pages = self.pages_read + self.pages_written
+        return self.seeks * seek_ms + total_pages * page_ms
+
+    def as_dict(self):
+        return {
+            "seeks": self.seeks,
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+    def __repr__(self):
+        return (
+            f"CounterSnapshot(seeks={self.seeks}, pages_read={self.pages_read},"
+            f" pages_written={self.pages_written})"
+        )
+
+
+class DiskSimulator:
+    """Allocates extents and accounts accesses; see module docstring."""
+
+    def __init__(self, page_size=4096, clustered=False, seed=0):
+        if page_size <= 0:
+            raise StorageError("page size must be positive")
+        self.page_size = page_size
+        self.clustered = clustered
+        self._rng = random.Random(seed)
+        self._arena_next = {}  # cluster_key -> next free page in its arena
+        self._arena_count = 0
+        self._scatter_base = 0
+        self._cursor = -1  # page right after the last access
+        self.seeks = 0
+        self.pages_read = 0
+        self.pages_written = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- placement -----------------------------------------------------------
+
+    def pages_for(self, nbytes):
+        """Number of pages an object of ``nbytes`` occupies (at least 1)."""
+        if nbytes < 0:
+            raise StorageError("negative object size")
+        return max(1, -(-nbytes // self.page_size))
+
+    def allocate(self, nbytes, cluster_key=None):
+        """Allocate (and write) an extent for an object of ``nbytes``.
+
+        Accounts the write immediately — storing an object is a write access.
+        """
+        num_pages = self.pages_for(nbytes)
+        if self.clustered and cluster_key is not None:
+            start = self._arena_next.get(cluster_key)
+            if start is None:
+                self._arena_count += 1
+                start = self._arena_count * _ARENA_PAGES
+            self._arena_next[cluster_key] = start + num_pages
+        else:
+            # Scatter: a pseudo-random position far from the previous one.
+            self._scatter_base += 1
+            start = (
+                self._scatter_base * _ARENA_PAGES
+                + self._rng.randrange(_ARENA_PAGES // 2)
+            )
+        extent = Extent(start, num_pages)
+        self._account(extent, is_write=True)
+        return extent
+
+    # -- access accounting -----------------------------------------------------
+
+    def read(self, extent):
+        """Account one read of ``extent``."""
+        if not isinstance(extent, Extent):
+            raise StorageError("read() expects an Extent")
+        self._account(extent, is_write=False)
+
+    def overwrite(self, extent):
+        """Account an in-place rewrite of ``extent``."""
+        self._account(extent, is_write=True)
+
+    def _account(self, extent, is_write):
+        if extent.start_page != self._cursor:
+            self.seeks += 1
+        self._cursor = extent.end_page
+        if is_write:
+            self.pages_written += extent.num_pages
+            self.writes += 1
+        else:
+            self.pages_read += extent.num_pages
+            self.reads += 1
+
+    # -- reporting ---------------------------------------------------------------
+
+    def snapshot(self):
+        """Counter snapshot; subtract two to get the cost of a code region."""
+        return CounterSnapshot(
+            self.seeks, self.pages_read, self.pages_written,
+            self.reads, self.writes,
+        )
+
+    def cost_of(self):
+        """Context manager measuring the disk cost of a ``with`` block.
+
+        >>> disk = DiskSimulator()
+        >>> with disk.cost_of() as cost:
+        ...     disk.read(disk.allocate(100))
+        >>> cost.result.reads
+        1
+        """
+        return _CostRegion(self)
+
+
+class _CostRegion:
+    def __init__(self, disk):
+        self._disk = disk
+        self.result = None
+
+    def __enter__(self):
+        self._before = self._disk.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.result = self._disk.snapshot() - self._before
+        return False

@@ -1,0 +1,228 @@
+"""Physical document repository: current version + delta chain + snapshots.
+
+The repository owns placement (through the :class:`DiskSimulator`) and
+reconstruction (the ``Reconstruct`` algorithm of Section 7.3.3): to obtain
+version *k*, start from the nearest materialized state at or after *k* (the
+current version or an intermediate snapshot) and apply completed deltas
+*backwards* until *k* is reached.
+
+Deltas and trees are kept as Python objects; the simulated extents carry the
+cost model.  ``read_*`` methods always account the I/O before returning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..diff.apply import apply_script
+from ..errors import (
+    DocumentDeletedError,
+    NoSuchDocumentError,
+    NoSuchVersionError,
+)
+from ..model.identifiers import XIDAllocator
+from ..xmlcore.serializer import serialize
+from .deltaindex import DeltaIndex, VersionEntry
+from .page import DiskSimulator
+
+
+@dataclass
+class DocumentRecord:
+    """Everything the repository keeps for one document."""
+
+    doc_id: int
+    name: str
+    allocator: XIDAllocator = field(default_factory=XIDAllocator)
+    dindex: DeltaIndex = field(default_factory=DeltaIndex)
+    current_root: object = None  # tree of the latest version (kept even after delete)
+    deltas: dict = field(default_factory=dict)  # version number -> EditScript
+    snapshots: dict = field(default_factory=dict)  # version number -> tree
+    current_extent: object = None
+    current_bytes: int = 0
+
+    @property
+    def is_deleted(self):
+        return self.dindex.is_deleted
+
+
+class Repository:
+    """Stores document records and implements version reconstruction."""
+
+    def __init__(self, disk=None, snapshot_interval=None):
+        """``snapshot_interval=k`` materializes a full snapshot every k-th
+        version (None disables intermediate snapshots, the paper's base
+        configuration)."""
+        self.disk = disk if disk is not None else DiskSimulator()
+        self.snapshot_interval = snapshot_interval
+        self._records = {}
+        self._next_doc_id = 1
+        self.delta_reads = 0  # logical delta-read counter (paper's metric)
+        self.snapshot_reads = 0
+        self.current_reads = 0
+
+    # -- record management ------------------------------------------------------
+
+    def create(self, name):
+        record = DocumentRecord(self._next_doc_id, name)
+        self._records[record.doc_id] = record
+        self._next_doc_id += 1
+        return record
+
+    def record(self, doc_id):
+        try:
+            return self._records[doc_id]
+        except KeyError:
+            raise NoSuchDocumentError(f"unknown document id {doc_id}") from None
+
+    def records(self):
+        return list(self._records.values())
+
+    # -- commits ------------------------------------------------------------------
+
+    def commit_initial(self, record, root, ts):
+        """Store version 1 of a new document."""
+        record.current_root = root
+        record.current_bytes = _tree_bytes(root)
+        record.current_extent = self.disk.allocate(
+            record.current_bytes, cluster_key=("current", record.doc_id)
+        )
+        record.dindex.append(VersionEntry(1, ts))
+
+    def commit_version(self, record, new_root, script, ts):
+        """Store a new version: delta behind, new tree becomes current."""
+        old_number = record.dindex.current_number
+        old_entry = record.dindex.entry(old_number)
+
+        # The completed delta for the now-previous version.  Deltas live in
+        # their own per-document arena (an append-only delta file), so a
+        # chain read on a clustered disk is sequential.
+        delta_bytes = script.size_bytes()
+        old_entry.delta_extent = self.disk.allocate(
+            delta_bytes, cluster_key=("deltas", record.doc_id)
+        )
+        old_entry.delta_bytes = delta_bytes
+        record.deltas[old_number] = script
+
+        new_number = old_number + 1
+        entry = VersionEntry(new_number, ts)
+        record.dindex.append(entry)
+        record.current_root = new_root
+        record.current_bytes = _tree_bytes(new_root)
+        record.current_extent = self.disk.allocate(
+            record.current_bytes, cluster_key=("current", record.doc_id)
+        )
+
+        if self.snapshot_interval and new_number % self.snapshot_interval == 0:
+            self.materialize_snapshot(record, new_number)
+        return entry
+
+    def materialize_snapshot(self, record, number):
+        """Store a full snapshot of version ``number`` (must be reachable)."""
+        entry = record.dindex.entry(number)
+        if entry.has_snapshot:
+            return entry
+        tree = self.reconstruct(record, number)
+        record.snapshots[number] = tree
+        entry.snapshot_bytes = _tree_bytes(tree)
+        entry.snapshot_extent = self.disk.allocate(
+            entry.snapshot_bytes, cluster_key=("snapshots", record.doc_id)
+        )
+        return entry
+
+    def mark_deleted(self, record, ts):
+        if record.is_deleted:
+            raise DocumentDeletedError(f"{record.name} is already deleted")
+        record.dindex.deleted_at = ts
+
+    # -- reads ------------------------------------------------------------------------
+
+    def read_current(self, record):
+        """Read (and account) the complete current version; returns a copy."""
+        if record.current_root is None:
+            raise NoSuchVersionError(f"{record.name} has no stored version")
+        self.disk.read(record.current_extent)
+        self.current_reads += 1
+        return record.current_root.copy()
+
+    def read_delta(self, record, number):
+        """Read (and account) the completed delta stored at ``number``."""
+        script = record.deltas.get(number)
+        if script is None:
+            raise NoSuchVersionError(
+                f"{record.name} has no delta for version {number}"
+            )
+        self.disk.read(record.dindex.entry(number).delta_extent)
+        self.delta_reads += 1
+        return script
+
+    def read_snapshot(self, record, number):
+        tree = record.snapshots.get(number)
+        if tree is None:
+            raise NoSuchVersionError(
+                f"{record.name} has no snapshot at version {number}"
+            )
+        self.disk.read(record.dindex.entry(number).snapshot_extent)
+        self.snapshot_reads += 1
+        return tree.copy()
+
+    # -- reconstruction (Section 7.3.3) ---------------------------------------------------
+
+    def reconstruct(self, record, number):
+        """Materialize version ``number`` of the document; returns a tree.
+
+        Backward application: start from the nearest snapshot at or after
+        ``number`` (falling back to the current version) and apply the
+        inverses of the intervening completed deltas, most recent first.
+        """
+        current_number = record.dindex.current_number
+        if not 1 <= number <= current_number:
+            raise NoSuchVersionError(
+                f"{record.name} has no version {number} "
+                f"(current is {current_number})"
+            )
+        snap = record.dindex.nearest_snapshot_at_or_after(number)
+        if snap is not None and snap.number < current_number:
+            start_number = snap.number
+            tree = self.read_snapshot(record, start_number)
+        else:
+            start_number = current_number
+            tree = self.read_current(record)
+        # Fetch the needed chain in ascending (on-disk) order — one
+        # sequential sweep over the delta arena — then apply the inverses
+        # newest-first in memory.
+        chain = [
+            self.read_delta(record, version)
+            for version in range(number, start_number)
+        ]
+        for script in reversed(chain):
+            tree = apply_script(tree, script.invert())
+        return tree
+
+    def reconstruct_at(self, record, ts):
+        """Materialize the version valid at ``ts``; ``None`` if not valid."""
+        entry = record.dindex.version_at(ts)
+        if entry is None:
+            return None
+        return self.reconstruct(record, entry.number)
+
+    # -- space accounting ---------------------------------------------------------------------
+
+    def storage_bytes(self):
+        """Stored bytes by category (the E7 space comparison)."""
+        current = sum(r.current_bytes for r in self._records.values())
+        deltas = 0
+        snapshots = 0
+        for record in self._records.values():
+            for entry in record.dindex.entries:
+                deltas += entry.delta_bytes
+                snapshots += entry.snapshot_bytes
+        return {
+            "current": current,
+            "deltas": deltas,
+            "snapshots": snapshots,
+            "total": current + deltas + snapshots,
+        }
+
+
+def _tree_bytes(root):
+    return len(serialize(root))

@@ -1,0 +1,262 @@
+"""The logical store facade: named documents, commits, observers.
+
+:class:`TemporalDocumentStore` is the top of the storage stack and the
+object applications interact with:
+
+* ``put`` / ``update`` / ``delete`` commit new document states at
+  transaction times drawn from a :class:`~repro.clock.LogicalClock`
+  (or passed explicitly, e.g. by the warehouse crawler);
+* ``update`` runs the differ, so XIDs persist across versions and the
+  completed delta lands in the repository;
+* every commit is broadcast as a :class:`CommitEvent` to registered
+  observers — this is how the temporal full-text index and the lifetime
+  (create/delete time) index stay current;
+* read paths (``current``, ``snapshot``, ``version``, ``subtree``) resolve
+  names/EIDs/TEIDs and delegate reconstruction to the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import LogicalClock
+from ..diff.differ import diff
+from ..errors import (
+    DocumentDeletedError,
+    NoSuchDocumentError,
+    StorageError,
+)
+from ..model.identifiers import EID, TEID
+from ..model.versioned import stamp_new_nodes
+from ..xmlcore.node import Element
+from ..xmlcore.parser import parse
+from .page import DiskSimulator
+from .repository import Repository
+
+
+@dataclass(frozen=True)
+class CommitEvent:
+    """Broadcast to observers after every successful commit.
+
+    ``kind`` is ``"create"``, ``"update"``, or ``"delete"``.  ``root`` is the
+    new current tree (``None`` for deletes), ``old_root`` the previous one
+    (``None`` for creates), ``script`` the completed delta (updates only).
+    Observers must not mutate the trees.
+    """
+
+    kind: str
+    doc_id: int
+    name: str
+    version_number: int
+    timestamp: int
+    root: object = None
+    old_root: object = None
+    script: object = None
+
+
+class TemporalDocumentStore:
+    """A transaction-time XML document store (the paper's assumed system)."""
+
+    def __init__(
+        self,
+        clock=None,
+        disk=None,
+        snapshot_interval=None,
+        clustered=True,
+    ):
+        if disk is None:
+            disk = DiskSimulator(clustered=clustered)
+        self.clock = clock if clock is not None else LogicalClock()
+        self.repository = Repository(disk, snapshot_interval=snapshot_interval)
+        self._by_name = {}
+        self._observers = []
+
+    @property
+    def disk(self):
+        return self.repository.disk
+
+    # -- observers ----------------------------------------------------------------
+
+    def subscribe(self, observer):
+        """Register an observer with a ``document_committed(event)`` method."""
+        self._observers.append(observer)
+        return observer
+
+    def _notify(self, event):
+        for observer in self._observers:
+            observer.document_committed(event)
+
+    # -- commit paths --------------------------------------------------------------
+
+    def put(self, name, source, ts=None):
+        """Create a new document; returns its doc_id.
+
+        ``source`` may be XML text or an already built element tree.  A name
+        can be reused after deletion — that creates a *new* document (new
+        doc_id), mirroring the paper's remark that a re-introduced entry
+        receives fresh identity.
+        """
+        existing = self._by_name.get(name)
+        if existing is not None and not existing.is_deleted:
+            raise StorageError(
+                f"document {name!r} already exists; use update()"
+            )
+        root = self._as_tree(source)
+        ts = self._commit_ts(ts)
+        record = self.repository.create(name)
+        stamp_new_nodes(root, record.allocator, ts)
+        self.repository.commit_initial(record, root, ts)
+        self._by_name[name] = record
+        self._notify(
+            CommitEvent(
+                "create", record.doc_id, name, 1, ts, root=root
+            )
+        )
+        return record.doc_id
+
+    def update(self, name, source, ts=None):
+        """Commit a new version of an existing document; returns the version
+        number.  The differ carries XIDs from the stored current version into
+        the new tree, so element identity persists (Section 3.2)."""
+        record = self._live_record(name)
+        new_root = self._as_tree(source)
+        if any(n.xid is not None for n in new_root.iter()):
+            raise StorageError(
+                "update() expects an unstamped tree; XIDs are assigned by "
+                "the store"
+            )
+        ts = self._commit_ts(ts)
+        old_root = record.current_root
+        script = diff(old_root, new_root, record.allocator, commit_ts=ts)
+        script.from_ts = record.dindex.current_ts()
+        script.to_ts = ts
+        entry = self.repository.commit_version(record, new_root, script, ts)
+        self._notify(
+            CommitEvent(
+                "update",
+                record.doc_id,
+                name,
+                entry.number,
+                ts,
+                root=new_root,
+                old_root=old_root,
+                script=script,
+            )
+        )
+        return entry.number
+
+    def delete(self, name, ts=None):
+        """Logically delete a document at transaction time ``ts``."""
+        record = self._live_record(name)
+        ts = self._commit_ts(ts)
+        self.repository.mark_deleted(record, ts)
+        self._notify(
+            CommitEvent(
+                "delete",
+                record.doc_id,
+                name,
+                record.dindex.current_number,
+                ts,
+                old_root=record.current_root,
+            )
+        )
+
+    def _commit_ts(self, ts):
+        if ts is None:
+            return self.clock.advance()
+        self.clock.advance_to(ts)
+        return ts
+
+    @staticmethod
+    def _as_tree(source):
+        if isinstance(source, Element):
+            return source
+        return parse(source)
+
+    # -- resolution -------------------------------------------------------------------
+
+    def record(self, name_or_id):
+        """DocumentRecord by name or doc_id (deleted documents included)."""
+        if isinstance(name_or_id, int):
+            return self.repository.record(name_or_id)
+        record = self._by_name.get(name_or_id)
+        if record is None:
+            raise NoSuchDocumentError(f"unknown document {name_or_id!r}")
+        return record
+
+    def _live_record(self, name):
+        record = self.record(name)
+        if record.is_deleted:
+            raise DocumentDeletedError(f"document {name!r} is deleted")
+        return record
+
+    def doc_id(self, name):
+        return self.record(name).doc_id
+
+    def name_of(self, doc_id):
+        return self.repository.record(doc_id).name
+
+    def documents(self, include_deleted=False):
+        """Names of stored documents."""
+        return [
+            r.name
+            for r in self.repository.records()
+            if include_deleted or not r.is_deleted
+        ]
+
+    def delta_index(self, name_or_id):
+        return self.record(name_or_id).dindex
+
+    # -- reads ------------------------------------------------------------------------
+
+    def current(self, name_or_id):
+        """The complete current version (a private copy)."""
+        record = self.record(name_or_id)
+        if record.is_deleted:
+            raise DocumentDeletedError(
+                f"document {record.name!r} is deleted"
+            )
+        return self.repository.read_current(record)
+
+    def snapshot(self, name_or_id, ts):
+        """The version valid at ``ts``, or ``None`` if the document did not
+        exist then (before creation / at-or-after deletion)."""
+        record = self.record(name_or_id)
+        return self.repository.reconstruct_at(record, ts)
+
+    def version(self, name_or_id, number):
+        """Materialize version ``number`` (1-based)."""
+        record = self.record(name_or_id)
+        return self.repository.reconstruct(record, number)
+
+    def subtree(self, teid):
+        """The subtree rooted at ``teid``'s element in the version valid at
+        ``teid.timestamp``; ``None`` when document or element is absent."""
+        tree = self.snapshot(teid.doc_id, teid.timestamp)
+        if tree is None:
+            return None
+        for node in tree.iter():
+            if node.xid == teid.xid:
+                return node
+        return None
+
+    def normalize_teid(self, teid):
+        """Rewrite a TEID so its timestamp is the containing version's commit
+        time (the canonical TEID for a given element version)."""
+        entry = self.delta_index(teid.doc_id).version_at(teid.timestamp)
+        if entry is None:
+            return None
+        return TEID(teid.doc_id, teid.xid, entry.timestamp)
+
+    def current_teid(self, name_or_id, xid):
+        """TEID of ``xid``'s current version (None when gone)."""
+        record = self.record(name_or_id)
+        if record.is_deleted:
+            return None
+        for node in record.current_root.iter():
+            if node.xid == xid:
+                return TEID(record.doc_id, xid, record.dindex.current_ts())
+        return None
+
+    def eid(self, name_or_id, xid):
+        return EID(self.record(name_or_id).doc_id, xid)

@@ -1,0 +1,26 @@
+"""XML warehouse simulation (Section 3.1's second time scenario).
+
+In a Web warehouse the store does not see documents when they change — it
+sees them when a crawler fetches them.  :class:`~repro.warehouse.crawler.SimulatedWeb`
+hosts documents with their own (hidden) publication timelines;
+:class:`~repro.warehouse.crawler.Crawler` visits on its own schedule and
+commits what it finds at *crawl* time.  The mismatch produces exactly the
+warehouse caveats the paper lists: creation times are unknown, versions can
+be missed between crawls, and cross-references can dangle.
+
+:mod:`repro.warehouse.doctime` adds the third time aspect: **document
+time**, extracted from metadata inside the documents themselves
+(XMLNews-Meta/RDF-style), indexable and queryable independently of
+transaction time.
+"""
+
+from .crawler import CrawlReport, Crawler, SimulatedWeb
+from .doctime import DocumentTimeIndex, extract_document_time
+
+__all__ = [
+    "SimulatedWeb",
+    "Crawler",
+    "CrawlReport",
+    "extract_document_time",
+    "DocumentTimeIndex",
+]

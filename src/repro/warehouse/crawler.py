@@ -1,0 +1,159 @@
+"""Simulated web + crawler: non-synchronized copies of documents.
+
+The paper distinguishes locally stored documents (true transaction time)
+from warehouse copies, where "we in general do not know the time of
+creation ..., only the time when the document was retrieved from the Web
+(crawled)", versions may be missed entirely, and the warehouse view is
+inconsistent across documents.  This module makes those effects concrete
+and measurable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ..errors import NoSuchDocumentError
+
+
+class SimulatedWeb:
+    """Documents with hidden publication timelines.
+
+    ``publish(url, ts, content)`` records a new published state (``None``
+    content = the page disappears).  ``fetch(url, ts)`` returns what a
+    crawler would see at time ``ts``.
+    """
+
+    def __init__(self):
+        self._timelines = {}  # url -> list of (ts, content-or-None)
+
+    def publish(self, url, ts, content):
+        timeline = self._timelines.setdefault(url, [])
+        if timeline and ts <= timeline[-1][0]:
+            raise ValueError("publications must be in time order per URL")
+        timeline.append((ts, content))
+
+    def urls(self):
+        return list(self._timelines)
+
+    def fetch(self, url, ts):
+        """Content live at ``ts`` (``None``: not yet published or removed)."""
+        timeline = self._timelines.get(url, [])
+        timestamps = [t for t, _content in timeline]
+        pos = bisect_right(timestamps, ts)
+        if pos == 0:
+            return None
+        return timeline[pos - 1][1]
+
+    def states_in(self, url, start, end):
+        """Published states with publish time in ``[start, end)`` —
+        the ground truth the crawl report compares against."""
+        return [
+            (ts, content)
+            for ts, content in self._timelines.get(url, [])
+            if start <= ts < end
+        ]
+
+
+@dataclass
+class CrawlReport:
+    """What a crawl campaign captured vs. what actually happened."""
+
+    fetches: int = 0
+    stored_versions: int = 0
+    unchanged_fetches: int = 0
+    missed_states: int = 0       # published states never captured
+    dangling_documents: int = 0  # pages gone before ever being crawled
+    deletions_observed: int = 0
+    per_url: dict = field(default_factory=dict)
+
+    def capture_ratio(self):
+        total = self.stored_versions + self.missed_states
+        return self.stored_versions / total if total else 1.0
+
+
+class Crawler:
+    """Visits the simulated web and commits findings at crawl time."""
+
+    def __init__(self, web, store):
+        self.web = web
+        self.store = store
+        self._last_seen = {}  # url -> last stored content text
+
+    def crawl(self, url, ts):
+        """Fetch one URL at time ``ts`` and commit any observed change.
+
+        Returns ``"created"``/``"updated"``/``"deleted"``/``"unchanged"``/
+        ``"absent"``.
+        """
+        content = self.web.fetch(url, ts)
+        known = url in self._last_seen
+        if content is None:
+            if known and self._last_seen[url] is not None:
+                self.store.delete(url, ts=ts)
+                self._last_seen[url] = None
+                return "deleted"
+            return "absent"
+        if not known or self._last_seen[url] is None:
+            self.store.put(url, content, ts=ts)
+            self._last_seen[url] = content
+            return "created"
+        if content == self._last_seen[url]:
+            return "unchanged"
+        self.store.update(url, content, ts=ts)
+        self._last_seen[url] = content
+        return "updated"
+
+    def run(self, schedule):
+        """Run a crawl campaign: ``schedule`` is an iterable of
+        ``(ts, url)`` visits in time order.  Returns a :class:`CrawlReport`
+        comparing captures against the web's ground truth."""
+        report = CrawlReport()
+        visits = {}
+        first_ts = None
+        last_ts = None
+        for ts, url in schedule:
+            outcome = self.crawl(url, ts)
+            report.fetches += 1
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+            visits.setdefault(url, 0)
+            visits[url] += 1
+            if outcome in ("created", "updated"):
+                report.stored_versions += 1
+            elif outcome == "unchanged":
+                report.unchanged_fetches += 1
+            elif outcome == "deleted":
+                report.deletions_observed += 1
+        if first_ts is None:
+            return report
+        for url in self.web.urls():
+            states = self.web.states_in(url, first_ts, last_ts + 1)
+            published = len([s for s in states if s[1] is not None])
+            try:
+                captured = len(self.store.delta_index(url).entries)
+            except NoSuchDocumentError:
+                captured = 0
+            missed = max(0, published - captured)
+            report.missed_states += missed
+            if published and captured == 0:
+                report.dangling_documents += 1
+            report.per_url[url] = {
+                "published": published,
+                "captured": captured,
+                "visits": visits.get(url, 0),
+            }
+        return report
+
+
+def round_robin_schedule(urls, start, end, interval):
+    """A simple crawl schedule: cycle through ``urls`` every ``interval``
+    seconds between ``start`` and ``end`` (one URL per tick)."""
+    schedule = []
+    ts = start
+    index = 0
+    while ts < end:
+        schedule.append((ts, urls[index % len(urls)]))
+        index += 1
+        ts += interval
+    return schedule

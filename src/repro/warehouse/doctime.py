@@ -1,0 +1,116 @@
+"""Document time: the valid-time-like third aspect of Section 3.1.
+
+"Many documents include a timestamp in the document itself ... The
+documents can also be indexed and queried based on this document time.
+Although it could be difficult to extract this time from a document
+automatically, we can expect many documents to include this metadata in a
+standardized way, based on RDF" (the paper points to XMLNews-Meta).
+
+:func:`extract_document_time` looks for the standardized spots — metadata
+elements and attributes with recognized names — and parses the first date
+it finds.  :class:`DocumentTimeIndex` is a store observer mapping each
+document version to its document time, so snapshot-by-document-time queries
+become range scans.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from ..clock import parse_date
+from ..errors import TimeError
+from ..xmlcore.node import Element
+
+#: Element/attribute names recognized as document-time carriers (lowercase).
+#: Modeled on XMLNews-Meta and Dublin Core.
+DOCTIME_NAMES = frozenset(
+    {
+        "date",
+        "pubdate",
+        "publicationdate",
+        "publication_time",
+        "publishtime",
+        "published",
+        "dc:date",
+        "doctime",
+        "timestamp",
+        "expiretime",
+    }
+)
+
+
+def extract_document_time(root):
+    """The first document time found in ``root``, or ``None``.
+
+    Searched, in document order: attributes with recognized names, then
+    text content of elements with recognized names.  Dates use the
+    ``dd/mm/yyyy[ hh:mm[:ss]]`` convention of this library.
+    """
+    for node in root.iter():
+        if not isinstance(node, Element):
+            continue
+        for name, value in node.attrib.items():
+            if name.lower() in DOCTIME_NAMES:
+                ts = _try_parse(value)
+                if ts is not None:
+                    return ts
+        if node.tag.lower() in DOCTIME_NAMES:
+            ts = _try_parse(node.text_content())
+            if ts is not None:
+                return ts
+    return None
+
+
+def _try_parse(text):
+    try:
+        return parse_date(text)
+    except TimeError:
+        return None
+
+
+class DocumentTimeIndex:
+    """Store observer: (document time → document versions) mapping."""
+
+    def __init__(self):
+        self._by_doc = {}  # doc_id -> list of (version_ts, doc_time or None)
+        self._ordered = []  # sorted list of (doc_time, doc_id, version_ts)
+
+    def document_committed(self, event):
+        if event.kind == "delete":
+            return
+        doc_time = extract_document_time(event.root)
+        self._by_doc.setdefault(event.doc_id, []).append(
+            (event.timestamp, doc_time)
+        )
+        if doc_time is not None:
+            insort(self._ordered, (doc_time, event.doc_id, event.timestamp))
+
+    def document_time(self, doc_id, version_ts):
+        """Document time recorded for a specific version (None if absent)."""
+        for ts, doc_time in self._by_doc.get(doc_id, []):
+            if ts == version_ts:
+                return doc_time
+        return None
+
+    def versions_with_doctime_in(self, start, end):
+        """``(doc_id, version_ts, doc_time)`` of versions whose *document
+        time* lies in ``[start, end)`` — e.g. "news posted last week",
+        regardless of when they were crawled."""
+        return [
+            (doc_id, version_ts, doc_time)
+            for doc_time, doc_id, version_ts in self._ordered
+            if start <= doc_time < end
+        ]
+
+    def coverage(self):
+        """Fraction of indexed versions that carried a document time."""
+        total = sum(len(v) for v in self._by_doc.values())
+        if not total:
+            return 0.0
+        with_time = sum(
+            1
+            for versions in self._by_doc.values()
+            for _ts, doc_time in versions
+            if doc_time is not None
+        )
+        return with_time / total

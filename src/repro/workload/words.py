@@ -1,0 +1,50 @@
+"""Zipf-distributed synthetic vocabulary.
+
+Index-heavy experiments need realistic word frequency skew: a few words in
+nearly every document, a long tail of rare ones.  :class:`Vocabulary`
+provides that with a deterministic sampler.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+
+
+class Vocabulary:
+    """``size`` words named ``w0001``..., sampled Zipf(``exponent``)."""
+
+    def __init__(self, size=500, exponent=1.1, seed=0):
+        if size < 1:
+            raise ValueError("vocabulary must contain at least one word")
+        self.size = size
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        self.words = [f"w{i:04d}" for i in range(1, size + 1)]
+        weights = [1.0 / (rank**exponent) for rank in range(1, size + 1)]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        self._cumulative = cumulative
+
+    def sample(self):
+        """One word, Zipf-distributed (rank 1 most likely)."""
+        point = self._rng.random()
+        index = bisect_right(self._cumulative, point)
+        return self.words[min(index, self.size - 1)]
+
+    def sample_text(self, min_words=1, max_words=5):
+        """A short text snippet of sampled words."""
+        count = self._rng.randint(min_words, max_words)
+        return " ".join(self.sample() for _ in range(count))
+
+    def common(self, count=1):
+        """The ``count`` most frequent words (useful as query terms)."""
+        return self.words[:count]
+
+    def rare(self, count=1):
+        """The ``count`` least frequent words."""
+        return self.words[-count:]

@@ -1,0 +1,31 @@
+"""From-scratch XML substrate: tree model, parser, serializer, paths.
+
+This package deliberately avoids the standard library XML modules so that the
+reproduction owns every layer the paper's algorithms touch (node identity,
+ordering, and serialization are all load-bearing for diffing and indexing).
+
+Public surface:
+
+* :class:`~repro.xmlcore.node.Element` / :class:`~repro.xmlcore.node.Text` —
+  the ordered tree model,
+* :func:`~repro.xmlcore.parser.parse` /
+  :func:`~repro.xmlcore.parser.parse_fragment` — text to trees,
+* :func:`~repro.xmlcore.serializer.serialize` — trees to text,
+* :class:`~repro.xmlcore.path.Path` — ``a/b//c`` path expressions.
+"""
+
+from .node import Element, Text, element
+from .parser import parse, parse_fragment
+from .serializer import serialize
+from .path import Path, path_of
+
+__all__ = [
+    "Element",
+    "Text",
+    "element",
+    "parse",
+    "parse_fragment",
+    "serialize",
+    "Path",
+    "path_of",
+]

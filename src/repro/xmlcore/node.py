@@ -1,0 +1,261 @@
+"""Ordered XML tree model.
+
+Two node kinds exist: :class:`Element` (tag, attributes, ordered children)
+and :class:`Text` (character data).  Both carry two slots that belong to the
+temporal layers above this one:
+
+``xid``
+    The persistent element identifier (Xyleme-style XID) assigned by the
+    versioned store.  ``None`` on trees that have never been stored.
+
+``tstamp``
+    The element timestamp: the time this element or one of its descendants
+    was last updated (Section 4 of the paper).  Maintained by
+    :mod:`repro.model.versioned`.
+
+Keeping these slots here (instead of wrapping trees in a parallel structure)
+keeps the differ, the store, and the indexes working on one representation.
+"""
+
+from __future__ import annotations
+
+from ..errors import TemporalXMLError
+
+
+class _Node:
+    """Shared behaviour of element and text nodes."""
+
+    __slots__ = ("parent", "xid", "tstamp")
+
+    def __init__(self):
+        self.parent = None
+        self.xid = None
+        self.tstamp = None
+
+    @property
+    def is_element(self):
+        return isinstance(self, Element)
+
+    @property
+    def is_text(self):
+        return isinstance(self, Text)
+
+    def root(self):
+        """Topmost ancestor (self when detached)."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self):
+        """Yield ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self):
+        """Number of ancestors (root has depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    def detach(self):
+        """Remove this node from its parent (no-op when already detached)."""
+        if self.parent is not None:
+            self.parent.remove(self)
+        return self
+
+    def index_in_parent(self):
+        """Position among the parent's children; raises when detached."""
+        if self.parent is None:
+            raise TemporalXMLError("node has no parent")
+        for i, child in enumerate(self.parent.children):
+            if child is self:
+                return i
+        raise TemporalXMLError("node not found among parent's children")
+
+
+class Text(_Node):
+    """A character-data node.
+
+    ``value`` is the (unescaped) text.  Empty text nodes are legal in the
+    model but the parser never produces them.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = str(value)
+
+    def copy(self):
+        """Deep copy carrying ``xid``/``tstamp`` along."""
+        dup = Text(self.value)
+        dup.xid = self.xid
+        dup.tstamp = self.tstamp
+        return dup
+
+    def equals_deep(self, other):
+        return isinstance(other, Text) and self.value == other.value
+
+    def text_content(self):
+        return self.value
+
+    def __repr__(self):
+        label = self.value if len(self.value) <= 24 else self.value[:21] + "..."
+        return f"Text({label!r})"
+
+
+class Element(_Node):
+    """An element node: tag, attribute dict, ordered children."""
+
+    __slots__ = ("tag", "attrib", "children")
+
+    def __init__(self, tag, attrib=None):
+        super().__init__()
+        if not tag or not isinstance(tag, str):
+            raise TemporalXMLError(f"invalid element tag: {tag!r}")
+        self.tag = tag
+        self.attrib = dict(attrib) if attrib else {}
+        self.children = []
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, node):
+        """Append ``node`` (Element, Text, or str) as the last child."""
+        return self.insert(len(self.children), node)
+
+    def insert(self, index, node):
+        """Insert ``node`` at ``index``; detaches it from any previous parent."""
+        if isinstance(node, str):
+            node = Text(node)
+        if not isinstance(node, _Node):
+            raise TemporalXMLError(f"cannot insert {type(node).__name__} node")
+        if node is self or any(anc is node for anc in self.ancestors()):
+            raise TemporalXMLError("cannot insert a node under itself")
+        node.detach()
+        self.children.insert(index, node)
+        node.parent = self
+        return node
+
+    def remove(self, node):
+        """Remove a direct child (identity comparison)."""
+        for i, child in enumerate(self.children):
+            if child is node:
+                del self.children[i]
+                node.parent = None
+                return node
+        raise TemporalXMLError("node is not a child of this element")
+
+    def copy(self):
+        """Deep copy of the subtree, carrying ``xid``/``tstamp`` along."""
+        dup = Element(self.tag, self.attrib)
+        dup.xid = self.xid
+        dup.tstamp = self.tstamp
+        for child in self.children:
+            dup.children.append(child.copy())
+            dup.children[-1].parent = dup
+        return dup
+
+    # -- navigation --------------------------------------------------------
+
+    def child_elements(self):
+        """List of the element children (text nodes skipped)."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def iter(self):
+        """Pre-order traversal over all nodes of the subtree (self first)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, Element):
+                stack.extend(reversed(node.children))
+
+    def iter_elements(self):
+        """Pre-order traversal over element nodes only."""
+        for node in self.iter():
+            if isinstance(node, Element):
+                yield node
+
+    def find(self, tag):
+        """First child element with the given tag, or ``None``."""
+        for child in self.child_elements():
+            if child.tag == tag:
+                return child
+        return None
+
+    def findall(self, tag):
+        """All child elements with the given tag."""
+        return [c for c in self.child_elements() if c.tag == tag]
+
+    def subtree_size(self):
+        """Number of nodes in the subtree, including self."""
+        return sum(1 for _ in self.iter())
+
+    # -- content -----------------------------------------------------------
+
+    def text_content(self):
+        """Concatenation of all descendant text, document order."""
+        parts = []
+        for node in self.iter():
+            if isinstance(node, Text):
+                parts.append(node.value)
+        return "".join(parts)
+
+    @property
+    def text(self):
+        """Direct text content: concatenation of immediate Text children."""
+        return "".join(c.value for c in self.children if isinstance(c, Text))
+
+    @text.setter
+    def text(self, value):
+        self.children = [c for c in self.children if not isinstance(c, Text)]
+        if value is not None and value != "":
+            self.insert(0, Text(value))
+
+    def get(self, name, default=None):
+        """Attribute access with default."""
+        return self.attrib.get(name, default)
+
+    def set(self, name, value):
+        self.attrib[name] = str(value)
+
+    # -- comparison --------------------------------------------------------
+
+    def equals_shallow(self, other):
+        """Paper §7.4 shallow equality: same tag, attributes, and direct text."""
+        return (
+            isinstance(other, Element)
+            and self.tag == other.tag
+            and self.attrib == other.attrib
+            and self.text == other.text
+        )
+
+    def equals_deep(self, other):
+        """Paper §7.4 deep equality: subtrees match completely (order included)."""
+        if not isinstance(other, Element):
+            return False
+        if self.tag != other.tag or self.attrib != other.attrib:
+            return False
+        if len(self.children) != len(other.children):
+            return False
+        return all(
+            a.equals_deep(b) for a, b in zip(self.children, other.children)
+        )
+
+    def __repr__(self):
+        return f"Element({self.tag!r}, children={len(self.children)})"
+
+
+def element(tag, *children, **attrib):
+    """Terse tree builder used heavily in tests and examples.
+
+    >>> tree = element("restaurant", element("name", "Napoli"),
+    ...                element("price", "15"))
+    >>> tree.find("price").text
+    '15'
+    """
+    node = Element(tag, attrib or None)
+    for child in children:
+        node.append(child)
+    return node

@@ -1,0 +1,269 @@
+"""A hand-written, non-validating XML parser.
+
+Supports the subset of XML the paper's documents need: elements, attributes
+(single- or double-quoted), character data, CDATA sections, comments,
+processing instructions, an optional XML declaration, and the five predefined
+entities plus numeric character references.  DTDs are recognised and skipped.
+
+The parser reports well-formedness violations as
+:class:`~repro.errors.XMLSyntaxError` with line/column positions.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLSyntaxError
+from .node import Element, Text
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character cursor with line/column tracking."""
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self):
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        last_nl = consumed.rfind("\n")
+        column = self.pos - last_nl
+        return line, column
+
+    def error(self, message):
+        line, column = self.location()
+        return XMLSyntaxError(message, line=line, column=column)
+
+    def eof(self):
+        return self.pos >= self.length
+
+    def peek(self, count=1):
+        return self.text[self.pos : self.pos + count]
+
+    def advance(self, count=1):
+        self.pos += count
+
+    def expect(self, literal):
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def skip_whitespace(self):
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_until(self, terminator):
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated construct, expected {terminator!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(terminator)
+        return chunk
+
+    def read_name(self):
+        start = self.pos
+        if self.eof() or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+
+def _decode_entities(scanner, raw):
+    """Expand entity and character references in character data."""
+    if "&" not in raw:
+        return raw
+    parts = []
+    i = 0
+    while True:
+        amp = raw.find("&", i)
+        if amp < 0:
+            parts.append(raw[i:])
+            break
+        parts.append(raw[i:amp])
+        semi = raw.find(";", amp)
+        if semi < 0:
+            raise scanner.error("unterminated entity reference")
+        body = raw[amp + 1 : semi]
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                parts.append(chr(int(body[2:], 16)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{body};") from None
+        elif body.startswith("#"):
+            try:
+                parts.append(chr(int(body[1:])))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{body};") from None
+        elif body in _PREDEFINED_ENTITIES:
+            parts.append(_PREDEFINED_ENTITIES[body])
+        else:
+            raise scanner.error(f"unknown entity &{body};")
+        i = semi + 1
+    return "".join(parts)
+
+
+def _parse_attributes(scanner):
+    attrib = {}
+    while True:
+        scanner.skip_whitespace()
+        nxt = scanner.peek()
+        if nxt in (">", "/") or nxt == "?" or scanner.eof():
+            return attrib
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        value = scanner.read_until(quote)
+        if "<" in value:
+            raise scanner.error("'<' is not allowed in attribute values")
+        if name in attrib:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attrib[name] = _decode_entities(scanner, value)
+
+
+def _skip_misc(scanner, allow_doctype):
+    """Skip whitespace, comments, PIs, and (optionally) a DOCTYPE."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.peek(4) == "<!--":
+            scanner.advance(4)
+            comment = scanner.read_until("-->")
+            if "--" in comment:
+                raise scanner.error("'--' not allowed inside comments")
+        elif scanner.peek(2) == "<?":
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif allow_doctype and scanner.peek(9).upper() == "<!DOCTYPE":
+            scanner.advance(9)
+            depth = 1
+            while depth:
+                if scanner.eof():
+                    raise scanner.error("unterminated DOCTYPE")
+                ch = scanner.peek()
+                if ch == "<":
+                    depth += 1
+                elif ch == ">":
+                    depth -= 1
+                scanner.advance()
+        else:
+            return
+
+
+def _parse_element(scanner):
+    scanner.expect("<")
+    tag = scanner.read_name()
+    attrib = _parse_attributes(scanner)
+    node = Element(tag, attrib)
+    scanner.skip_whitespace()
+    if scanner.peek(2) == "/>":
+        scanner.advance(2)
+        return node
+    scanner.expect(">")
+    _parse_content(scanner, node)
+    closing = scanner.read_name()
+    if closing != tag:
+        raise scanner.error(
+            f"mismatched end tag: expected </{tag}>, found </{closing}>"
+        )
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    return node
+
+
+def _parse_content(scanner, parent):
+    """Parse children of ``parent`` up to (and consuming) its ``</``."""
+    text_parts = []
+
+    def flush_text():
+        if text_parts:
+            merged = "".join(text_parts)
+            if merged.strip():
+                parent.append(Text(merged))
+            text_parts.clear()
+
+    while True:
+        if scanner.eof():
+            raise scanner.error(f"unexpected end of input inside <{parent.tag}>")
+        lt = scanner.text.find("<", scanner.pos)
+        if lt < 0:
+            raise scanner.error(f"missing end tag for <{parent.tag}>")
+        if lt > scanner.pos:
+            # Entity expansion happens per chunk: CDATA sections are
+            # appended verbatim below and must never be decoded.
+            raw = scanner.text[scanner.pos : lt]
+            scanner.pos = lt
+            text_parts.append(_decode_entities(scanner, raw))
+        if scanner.peek(2) == "</":
+            flush_text()
+            scanner.advance(2)
+            return
+        if scanner.peek(4) == "<!--":
+            scanner.advance(4)
+            comment = scanner.read_until("-->")
+            if "--" in comment:
+                raise scanner.error("'--' not allowed inside comments")
+        elif scanner.peek(9) == "<![CDATA[":
+            scanner.advance(9)
+            text_parts.append(scanner.read_until("]]>"))
+        elif scanner.peek(2) == "<?":
+            scanner.advance(2)
+            scanner.read_until("?>")
+        else:
+            flush_text()
+            parent.append(_parse_element(scanner))
+
+
+def parse(text):
+    """Parse a complete XML document; returns the root :class:`Element`.
+
+    Exactly one root element is required (surrounding comments/PIs and a
+    prolog are allowed).
+    """
+    scanner = _Scanner(text)
+    _skip_misc(scanner, allow_doctype=True)
+    if scanner.eof() or scanner.peek() != "<":
+        raise scanner.error("expected a root element")
+    root = _parse_element(scanner)
+    _skip_misc(scanner, allow_doctype=False)
+    if not scanner.eof():
+        raise scanner.error("content after the root element")
+    return root
+
+
+def parse_fragment(text):
+    """Parse a forest: zero or more sibling elements with optional text between.
+
+    Interleaved top-level text is discarded (fragments are used for pattern
+    literals and edit-script payloads where only elements matter).  Returns a
+    list of roots.
+    """
+    scanner = _Scanner(text)
+    roots = []
+    while True:
+        _skip_misc(scanner, allow_doctype=False)
+        if scanner.eof():
+            return roots
+        lt = scanner.text.find("<", scanner.pos)
+        if lt < 0:
+            return roots
+        scanner.pos = lt
+        roots.append(_parse_element(scanner))

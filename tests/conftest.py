@@ -1,0 +1,58 @@
+"""Shared fixtures: the Figure 1 database and synthetic collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TemporalXMLDatabase
+from repro.clock import parse_date
+from repro.index import (
+    DeltaOperationIndex,
+    LifetimeIndex,
+    TemporalFullTextIndex,
+)
+from repro.storage import TemporalDocumentStore
+from repro.workload import TDocGenerator, build_collection, load_figure1
+
+
+@pytest.fixture
+def figure1_db():
+    """The paper's Figure 1 loaded into a full database facade."""
+    db = TemporalXMLDatabase()
+    load_figure1(db)
+    return db
+
+
+@pytest.fixture
+def figure1_store():
+    """Figure 1 in a bare store with all three index observers attached."""
+    store = TemporalDocumentStore()
+    fti = store.subscribe(TemporalFullTextIndex())
+    lifetime = store.subscribe(LifetimeIndex())
+    ops = store.subscribe(DeltaOperationIndex())
+    load_figure1(store)
+    return store, fti, lifetime, ops
+
+
+@pytest.fixture
+def synthetic_store():
+    """A small deterministic multi-document temporal collection."""
+    store = TemporalDocumentStore()
+    fti = store.subscribe(TemporalFullTextIndex())
+    lifetime = store.subscribe(LifetimeIndex())
+    generator = TDocGenerator(seed=7)
+    names = build_collection(
+        store, n_docs=4, versions_per_doc=5, generator=generator
+    )
+    return store, fti, lifetime, names
+
+
+def ts(text):
+    """Shorthand date parser used across test modules."""
+    return parse_date(text)
+
+
+JAN_01 = parse_date("01/01/2001")
+JAN_15 = parse_date("15/01/2001")
+JAN_26 = parse_date("26/01/2001")
+JAN_31 = parse_date("31/01/2001")

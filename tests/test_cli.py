@@ -1,0 +1,167 @@
+"""Tests for the command-line interface and plan explanation."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.workload import load_figure1
+
+
+def _run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def guide_files(tmp_path):
+    v1 = tmp_path / "v1.xml"
+    v1.write_text(
+        "<guide><restaurant><name>Napoli</name><price>15</price>"
+        "</restaurant></guide>"
+    )
+    v2 = tmp_path / "v2.xml"
+    v2.write_text(
+        "<guide><restaurant><name>Napoli</name><price>18</price>"
+        "</restaurant></guide>"
+    )
+    return tmp_path / "db.xml", v1, v2
+
+
+class TestLifecycle:
+    def test_put_update_query(self, guide_files):
+        archive, v1, v2 = guide_files
+        code, out = _run("put", "-a", str(archive), "guide.com", str(v1),
+                         "--ts", "01/01/2001")
+        assert code == 0 and "created guide.com" in out
+        code, out = _run("update", "-a", str(archive), "guide.com", str(v2),
+                         "--ts", "31/01/2001")
+        assert code == 0 and "version 2" in out
+        code, out = _run(
+            "query", "-a", str(archive),
+            'SELECT TIME(R), R/price '
+            'FROM doc("guide.com")[EVERY]/restaurant R',
+        )
+        assert code == 0
+        assert "01/01/2001" in out and "18" in out
+
+    def test_query_xml_envelope(self, guide_files):
+        archive, v1, _v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1))
+        code, out = _run(
+            "query", "-a", str(archive), "--xml",
+            'SELECT R FROM doc("guide.com")/restaurant R',
+        )
+        assert code == 0
+        assert out.startswith("<results>")
+
+    def test_history_and_ls(self, guide_files):
+        archive, v1, v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1),
+             "--ts", "01/01/2001")
+        _run("update", "-a", str(archive), "guide.com", str(v2),
+             "--ts", "31/01/2001")
+        code, out = _run("history", "-a", str(archive), "guide.com")
+        assert code == 0
+        assert "v1  01/01/2001" in out
+        assert "(current)" in out
+        code, out = _run("ls", "-a", str(archive))
+        assert "guide.com  2 versions  live" in out
+
+    def test_delete(self, guide_files):
+        archive, v1, _v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1),
+             "--ts", "01/01/2001")
+        code, out = _run("delete", "-a", str(archive), "guide.com",
+                         "--ts", "05/02/2001")
+        assert code == 0
+        code, out = _run("ls", "-a", str(archive))
+        assert "deleted 05/02/2001" in out
+
+
+class TestErrors:
+    def test_missing_archive(self, tmp_path):
+        code, out = _run(
+            "query", "-a", str(tmp_path / "nope.xml"),
+            'SELECT R FROM doc("x") R',
+        )
+        assert code == 1
+        assert "does not exist" in out
+
+    def test_bad_query(self, guide_files):
+        archive, v1, _v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1))
+        code, out = _run("query", "-a", str(archive), "SELECT FROM nope")
+        assert code == 1
+        assert "error:" in out
+
+    def test_unknown_document(self, guide_files):
+        archive, v1, _v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1))
+        code, out = _run("history", "-a", str(archive), "ghost.com")
+        assert code == 1
+
+
+class TestDemo:
+    def test_demo_runs_paper_queries(self):
+        code, out = _run("demo")
+        assert code == 0
+        assert "Q1" in out and "Q2" in out and "Q3" in out
+        assert "Akropolis" in out
+
+
+class TestExplain:
+    def test_cli_explain(self, guide_files):
+        archive, v1, _v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1))
+        code, out = _run(
+            "explain", "-a", str(archive),
+            'SELECT R FROM doc("guide.com")/restaurant R',
+        )
+        assert code == 0
+        assert "strategy: index" in out
+
+    def test_engine_explain_shapes(self, figure1_db):
+        plans = figure1_db.engine.explain(
+            'SELECT R FROM doc("guide.com")[EVERY]/restaurant R '
+            'WHERE R/name = "Napoli" AND TIME(R) >= 15/01/2001'
+        )
+        info = plans[0]
+        assert info["strategy"] == "index"
+        assert info["operator"] == "TPatternScanAll"
+        assert info["pattern"] == ["restaurant", "name", "napoli"]
+        assert info["pushdown"] == "Napoli"
+        assert "15/01/2001" in info["window"]
+
+    def test_explain_navigate_reasons(self, figure1_db):
+        plans = figure1_db.engine.explain(
+            'SELECT D FROM doc("guide.com") D'
+        )
+        assert plans[0]["strategy"] == "navigate"
+        assert "no path" in plans[0]["reason"]
+        plans = figure1_db.engine.explain(
+            'SELECT R FROM doc("guide.com")/*/name R'
+        )
+        assert plans[0]["strategy"] == "navigate"
+        assert "wildcard" in plans[0]["reason"]
+
+    def test_explain_empty_window(self, figure1_db):
+        plans = figure1_db.engine.explain(
+            'SELECT R FROM doc("guide.com")[EVERY]/restaurant R '
+            "WHERE TIME(R) > 01/01/2002 AND TIME(R) < 01/01/2001"
+        )
+        assert plans[0]["strategy"] == "empty"
+
+    def test_explain_unknown_document(self, figure1_db):
+        plans = figure1_db.engine.explain(
+            'SELECT R FROM doc("ghost.com")/r R'
+        )
+        assert plans[0]["strategy"] == "error"
+
+    def test_explain_does_not_execute(self, figure1_db):
+        figure1_db.store.repository.delta_reads = 0
+        figure1_db.engine.explain(
+            'SELECT R FROM doc("guide.com")[EVERY]/restaurant R'
+        )
+        assert figure1_db.store.repository.delta_reads == 0

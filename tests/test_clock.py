@@ -1,0 +1,180 @@
+"""Tests for timestamps, intervals, and the logical clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock import (
+    BEFORE_TIME,
+    Interval,
+    LogicalClock,
+    SECONDS_PER_DAY,
+    SECONDS_PER_WEEK,
+    UNTIL_CHANGED,
+    coalesce,
+    format_timestamp,
+    interval_seconds,
+    parse_date,
+)
+from repro.errors import TimeError
+
+
+class TestParseDate:
+    def test_paper_literal(self):
+        assert parse_date("26/01/2001") == parse_date("25/01/2001") + SECONDS_PER_DAY
+
+    def test_epoch(self):
+        assert parse_date("01/01/1970") == 0
+
+    def test_with_time_of_day(self):
+        base = parse_date("26/01/2001")
+        assert parse_date("26/01/2001 01:30") == base + 5400
+        assert parse_date("26/01/2001 00:00:59") == base + 59
+
+    def test_leap_year(self):
+        assert (
+            parse_date("01/03/2000") - parse_date("28/02/2000")
+            == 2 * SECONDS_PER_DAY
+        )
+
+    def test_non_leap_century(self):
+        assert (
+            parse_date("01/03/1900") - parse_date("28/02/1900")
+            == SECONDS_PER_DAY
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "2001-01-26", "32/01/2001", "01/13/2001", "29/02/2001",
+         "26/01/2001 24:00", "26/1/01"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(TimeError):
+            parse_date(bad)
+
+
+class TestFormatTimestamp:
+    def test_roundtrip_date_only(self):
+        assert format_timestamp(parse_date("26/01/2001")) == "26/01/2001"
+
+    def test_roundtrip_with_time(self):
+        text = "05/07/1999 13:45:07"
+        assert format_timestamp(parse_date(text)) == text
+
+    def test_sentinels(self):
+        assert format_timestamp(UNTIL_CHANGED) == "UC"
+        assert format_timestamp(BEFORE_TIME) == "-inf"
+
+    @given(
+        st.integers(
+            min_value=0, max_value=parse_date("31/12/2199 23:59:59")
+        )
+    )
+    def test_property_roundtrip(self, ts):
+        assert parse_date(format_timestamp(ts)) == ts
+
+
+class TestIntervalSeconds:
+    def test_units(self):
+        assert interval_seconds(14, "DAYS") == 14 * SECONDS_PER_DAY
+        assert interval_seconds(2, "weeks") == 2 * SECONDS_PER_WEEK
+        assert interval_seconds(1, "HOUR") == 3600
+
+    def test_unknown_unit(self):
+        with pytest.raises(TimeError):
+            interval_seconds(3, "FORTNIGHTS")
+
+
+class TestInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(TimeError):
+            Interval(5, 5)
+        with pytest.raises(TimeError):
+            Interval(6, 5)
+
+    def test_contains_half_open(self):
+        interval = Interval(10, 20)
+        assert interval.contains(10)
+        assert interval.contains(19)
+        assert not interval.contains(20)
+        assert not interval.contains(9)
+
+    def test_overlaps_and_intersect(self):
+        a = Interval(0, 10)
+        b = Interval(5, 15)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert a.intersect(b) == Interval(5, 10)
+
+    def test_adjacent_do_not_overlap(self):
+        a = Interval(0, 10)
+        b = Interval(10, 20)
+        assert not a.overlaps(b)
+        assert a.intersect(b) is None
+        assert a.meets(b)
+
+    def test_merge(self):
+        assert Interval(0, 10).merge(Interval(10, 20)) == Interval(0, 20)
+        with pytest.raises(TimeError):
+            Interval(0, 5).merge(Interval(6, 9))
+
+    def test_is_current(self):
+        assert Interval(0, UNTIL_CHANGED).is_current
+        assert not Interval(0, 10).is_current
+
+
+class TestCoalesce:
+    def test_merges_overlapping_and_adjacent(self):
+        merged = coalesce([Interval(5, 7), Interval(1, 3), Interval(3, 6)])
+        assert merged == [Interval(1, 7)]
+
+    def test_keeps_gaps(self):
+        merged = coalesce([Interval(0, 2), Interval(5, 8)])
+        assert merged == [Interval(0, 2), Interval(5, 8)]
+
+    def test_empty(self):
+        assert coalesce([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 100), st.integers(1, 20)
+            ).map(lambda p: Interval(p[0], p[0] + p[1])),
+            max_size=20,
+        )
+    )
+    def test_property_disjoint_sorted_and_covering(self, intervals):
+        merged = coalesce(intervals)
+        # Sorted and pairwise disjoint with gaps.
+        for left, right in zip(merged, merged[1:]):
+            assert left.end < right.start
+        # Same coverage: every input instant is covered by exactly the merge.
+        covered = set()
+        for interval in intervals:
+            covered.update(range(interval.start, interval.end))
+        merged_cover = set()
+        for interval in merged:
+            merged_cover.update(range(interval.start, interval.end))
+        assert covered == merged_cover
+
+
+class TestLogicalClock:
+    def test_advances_by_tick(self):
+        clock = LogicalClock(start=100, tick=5)
+        assert clock.now() == 100
+        assert clock.advance() == 105
+        assert clock.advance(2) == 107
+
+    def test_rejects_backwards(self):
+        clock = LogicalClock(start=100)
+        with pytest.raises(TimeError):
+            clock.advance(-1)
+        with pytest.raises(TimeError):
+            clock.advance_to(99)
+
+    def test_advance_to(self):
+        clock = LogicalClock(start=100)
+        assert clock.advance_to(150) == 150
+        assert clock.advance_to(150) == 150  # same instant allowed
+
+    def test_bad_tick(self):
+        with pytest.raises(TimeError):
+            LogicalClock(tick=0)

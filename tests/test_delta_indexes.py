@@ -1,0 +1,148 @@
+"""Tests for the delta-operation index (alt 2), hybrid (alt 3), and the
+lifetime index."""
+
+import pytest
+
+from repro.index import (
+    DeltaOperationIndex,
+    HybridIndex,
+    LifetimeIndex,
+    TemporalFullTextIndex,
+)
+from repro.index.delta_fti import OP_DELETE, OP_INSERT, OP_UPDATE
+from repro.model.identifiers import EID
+from repro.storage import TemporalDocumentStore
+from repro.workload import load_figure1
+
+from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+
+
+@pytest.fixture
+def stores():
+    store = TemporalDocumentStore()
+    ops = store.subscribe(DeltaOperationIndex())
+    lifetime = store.subscribe(LifetimeIndex())
+    load_figure1(store)
+    return store, ops, lifetime
+
+
+class TestDeltaOperationIndex:
+    def test_insert_events_on_create(self, stores):
+        _store, ops, _lifetime = stores
+        events = ops.events_for_word("napoli", OP_INSERT)
+        assert len(events) == 1
+        assert events[0].ts == JAN_01
+
+    def test_deletion_time_query_is_direct(self, stores):
+        _store, ops, _lifetime = stores
+        assert ops.deletion_time("akropolis") == [JAN_31]
+
+    def test_update_events(self, stores):
+        _store, ops, _lifetime = stores
+        updates = ops.events_for_word("18", OP_INSERT)
+        assert [e.ts for e in updates] == [JAN_31]
+        removed = ops.events_for_word("15", OP_DELETE)
+        assert [e.ts for e in removed] == [JAN_31]
+
+    def test_op_keyword_lists_grow(self, stores):
+        _store, ops, _lifetime = stores
+        assert len(ops.events_for_op(OP_INSERT)) > 5
+        assert len(ops.events_for_op(OP_DELETE)) >= 1
+        assert len(ops.events_for_op(OP_UPDATE)) >= 1
+
+    def test_snapshot_fold(self, stores):
+        _store, ops, _lifetime = stores
+        assert len(ops.lookup_t("akropolis", JAN_26)) == 1
+        assert ops.lookup_t("akropolis", JAN_31) == []
+        assert ops.lookup_t("akropolis", JAN_01) == []
+
+    def test_document_delete_indexed(self, stores):
+        store, ops, _lifetime = stores
+        store.delete("guide.com")
+        assert len(ops.deletion_time("napoli")) == 1
+
+    def test_size_explosion_vs_content_index(self):
+        """The paper's complaint: delta indexing stores far more entries."""
+        store = TemporalDocumentStore()
+        content = store.subscribe(TemporalFullTextIndex())
+        operations = store.subscribe(DeltaOperationIndex())
+        store.put("d.xml", "<a><b>stable words here</b><c>hot</c></a>")
+        for value in range(20):
+            store.update(
+                "d.xml",
+                f"<a><b>stable words here</b><c>v{value}</c></a>",
+            )
+        # Content index: stable words have one posting; only the changing
+        # word accumulates. Operation index pays per commit.
+        assert operations.posting_count() > content.posting_count()
+
+
+class TestHybridIndex:
+    def test_routes_both_query_classes(self):
+        store = TemporalDocumentStore()
+        hybrid = store.subscribe(HybridIndex())
+        load_figure1(store)
+        assert len(hybrid.lookup_t("akropolis", JAN_26)) == 1
+        assert hybrid.deletion_time("akropolis") == [JAN_31]
+
+    def test_costs_are_summed(self):
+        store = TemporalDocumentStore()
+        hybrid = store.subscribe(HybridIndex())
+        load_figure1(store)
+        assert hybrid.posting_count() == (
+            hybrid.content.posting_count()
+            + hybrid.operations.posting_count()
+        )
+        assert hybrid.update_ops() > hybrid.content.stats.update_ops
+
+
+class TestLifetimeIndex:
+    def test_create_times(self, stores):
+        store, _ops, lifetime = stores
+        doc_id = store.doc_id("guide.com")
+        v2 = store.version("guide.com", 2)
+        napoli, akropolis = v2.child_elements()
+        assert lifetime.create_time(EID(doc_id, napoli.xid)) == JAN_01
+        assert lifetime.create_time(EID(doc_id, akropolis.xid)) == JAN_15
+
+    def test_delete_times(self, stores):
+        store, _ops, lifetime = stores
+        doc_id = store.doc_id("guide.com")
+        v2 = store.version("guide.com", 2)
+        napoli, akropolis = v2.child_elements()
+        assert lifetime.delete_time(EID(doc_id, akropolis.xid)) == JAN_31
+        assert lifetime.delete_time(EID(doc_id, napoli.xid)) is None
+
+    def test_document_delete_closes_all(self, stores):
+        store, _ops, lifetime = stores
+        doc_id = store.doc_id("guide.com")
+        delete_ts = JAN_31 + 1000
+        store.delete("guide.com", ts=delete_ts)
+        assert lifetime.delete_time(EID(doc_id, 1)) == delete_ts
+
+    def test_unknown_eid(self, stores):
+        _store, _ops, lifetime = stores
+        assert lifetime.create_time(EID(99, 99)) is None
+        assert not lifetime.known(EID(99, 99))
+
+    def test_lifespan(self, stores):
+        store, _ops, lifetime = stores
+        doc_id = store.doc_id("guide.com")
+        v2 = store.version("guide.com", 2)
+        akropolis = v2.child_elements()[1]
+        assert lifetime.lifespan(EID(doc_id, akropolis.xid)) == (
+            JAN_15,
+            JAN_31,
+        )
+
+    def test_every_stored_node_has_entry(self, stores):
+        store, _ops, lifetime = stores
+        record = store.record("guide.com")
+        alive_xids = {n.xid for n in record.current_root.iter()}
+        doc_id = record.doc_id
+        for xid in alive_xids:
+            assert lifetime.known(EID(doc_id, xid))
+
+    def test_commit_batches_counted(self, stores):
+        _store, _ops, lifetime = stores
+        assert lifetime.commit_batches == 3

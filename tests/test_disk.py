@@ -1,0 +1,114 @@
+"""Tests for the paged-disk simulator."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.page import CounterSnapshot, DiskSimulator, Extent
+
+
+class TestAllocation:
+    def test_pages_for_rounds_up(self):
+        disk = DiskSimulator(page_size=4096)
+        assert disk.pages_for(0) == 1
+        assert disk.pages_for(1) == 1
+        assert disk.pages_for(4096) == 1
+        assert disk.pages_for(4097) == 2
+
+    def test_pages_for_negative(self):
+        with pytest.raises(StorageError):
+            DiskSimulator().pages_for(-1)
+
+    def test_bad_page_size(self):
+        with pytest.raises(StorageError):
+            DiskSimulator(page_size=0)
+
+    def test_allocation_accounts_write(self):
+        disk = DiskSimulator()
+        disk.allocate(10000)
+        assert disk.pages_written == 3
+        assert disk.writes == 1
+        assert disk.seeks == 1
+
+
+class TestClustering:
+    def test_clustered_same_key_is_contiguous(self):
+        disk = DiskSimulator(clustered=True)
+        first = disk.allocate(4096, cluster_key="doc1")
+        second = disk.allocate(4096, cluster_key="doc1")
+        assert second.start_page == first.end_page
+
+    def test_clustered_chain_read_costs_one_seek(self):
+        disk = DiskSimulator(clustered=True)
+        extents = [disk.allocate(4096, cluster_key="d") for _ in range(10)]
+        before = disk.snapshot()
+        for extent in extents:
+            disk.read(extent)
+        cost = disk.snapshot() - before
+        assert cost.seeks == 1
+        assert cost.pages_read == 10
+
+    def test_unclustered_chain_read_seeks_every_time(self):
+        disk = DiskSimulator(clustered=False)
+        extents = [disk.allocate(4096, cluster_key="d") for _ in range(10)]
+        before = disk.snapshot()
+        for extent in extents:
+            disk.read(extent)
+        cost = disk.snapshot() - before
+        assert cost.seeks == 10
+
+    def test_different_keys_separate_arenas(self):
+        disk = DiskSimulator(clustered=True)
+        a = disk.allocate(4096, cluster_key="a")
+        b = disk.allocate(4096, cluster_key="b")
+        a2 = disk.allocate(4096, cluster_key="a")
+        assert a2.start_page == a.end_page
+        assert b.start_page != a.end_page
+
+
+class TestAccounting:
+    def test_read_requires_extent(self):
+        with pytest.raises(StorageError):
+            DiskSimulator().read("nope")
+
+    def test_sequential_read_no_extra_seek(self):
+        disk = DiskSimulator(clustered=True)
+        first = disk.allocate(4096, cluster_key="k")
+        second = disk.allocate(4096, cluster_key="k")
+        disk.read(first)
+        seeks_before = disk.seeks
+        disk.read(second)  # directly after first: sequential
+        assert disk.seeks == seeks_before
+
+    def test_overwrite_counts_writes(self):
+        disk = DiskSimulator()
+        extent = disk.allocate(100)
+        disk.overwrite(extent)
+        assert disk.writes == 2
+
+    def test_snapshot_diff(self):
+        disk = DiskSimulator()
+        before = disk.snapshot()
+        disk.read(disk.allocate(100))
+        cost = disk.snapshot() - before
+        assert cost.reads == 1 and cost.writes == 1
+        assert isinstance(cost, CounterSnapshot)
+
+    def test_cost_of_context_manager(self):
+        disk = DiskSimulator()
+        extent = disk.allocate(100)
+        with disk.cost_of() as region:
+            disk.read(extent)
+        assert region.result.reads == 1
+        assert region.result.writes == 0
+
+    def test_estimated_ms_model(self):
+        cost = CounterSnapshot(2, 10, 0, 1, 0)
+        assert cost.estimated_ms(seek_ms=8.0, page_ms=0.1) == 17.0
+
+    def test_extent_end_page(self):
+        assert Extent(10, 3).end_page == 13
+
+    def test_determinism_per_seed(self):
+        one = DiskSimulator(seed=42)
+        two = DiskSimulator(seed=42)
+        assert one.allocate(10) == two.allocate(10)

@@ -1,0 +1,87 @@
+"""Tests for DOCTIME() in TXQL — the third time aspect queryable."""
+
+import pytest
+
+from repro import TemporalXMLDatabase
+from repro.clock import parse_date
+from repro.errors import QueryPlanError
+
+
+@pytest.fixture
+def newsdb():
+    db = TemporalXMLDatabase()
+    db.put(
+        "a.xml",
+        "<news><pubdate>10/01/2001</pubdate><h>first</h></news>",
+        ts=parse_date("12/01/2001"),
+    )
+    db.put(
+        "b.xml",
+        "<news><pubdate>20/01/2001</pubdate><h>second</h></news>",
+        ts=parse_date("21/01/2001"),
+    )
+    db.put("c.xml", "<news><h>undated</h></news>", ts=parse_date("22/01/2001"))
+    return db
+
+
+class TestDoctimeFunction:
+    def test_extracts_document_time(self, newsdb):
+        result = newsdb.query('SELECT DOCTIME(N) FROM doc("a.xml") N')
+        assert int(result.rows[0]["DOCTIME(N)"]) == parse_date("10/01/2001")
+
+    def test_none_when_absent(self, newsdb):
+        result = newsdb.query('SELECT DOCTIME(N) FROM doc("c.xml") N')
+        assert result.rows[0]["DOCTIME(N)"] is None
+
+    def test_filter_by_document_time(self, newsdb):
+        result = newsdb.query(
+            'SELECT N/h FROM doc("*.xml") N '
+            "WHERE DOCTIME(N) >= 15/01/2001"
+        )
+        headlines = [
+            v.node.text_content() for r in result for v in r["N/h"]
+        ]
+        assert headlines == ["second"]
+
+    def test_document_time_vs_transaction_time(self, newsdb):
+        # Posted strictly before stored: true for both dated documents.
+        result = newsdb.query(
+            'SELECT N/h FROM doc("*.xml") N WHERE DOCTIME(N) < TIME(N)'
+        )
+        assert len(result) == 2
+
+    def test_doctime_lag_arithmetic(self, newsdb):
+        # Crawled more than a day after posting: a.xml (2 days lag) only.
+        result = newsdb.query(
+            'SELECT N/h FROM doc("*.xml") N '
+            "WHERE TIME(N) - 1 DAYS >= DOCTIME(N) + 1 DAYS"
+        )
+        headlines = [
+            v.node.text_content() for r in result for v in r["N/h"]
+        ]
+        assert headlines == ["first"]
+
+    def test_doctime_requires_binding(self, newsdb):
+        with pytest.raises(QueryPlanError):
+            newsdb.query('SELECT DOCTIME(N/h) FROM doc("a.xml") N')
+
+    def test_doctime_of_historical_version(self):
+        db = TemporalXMLDatabase()
+        db.put(
+            "a.xml",
+            "<news><pubdate>01/01/2001</pubdate><h>v1</h></news>",
+            ts=parse_date("02/01/2001"),
+        )
+        db.update(
+            "a.xml",
+            "<news><pubdate>05/01/2001</pubdate><h>v2</h></news>",
+            ts=parse_date("06/01/2001"),
+        )
+        result = db.query(
+            'SELECT DOCTIME(N) FROM doc("a.xml")[03/01/2001] N'
+        )
+        assert int(result.rows[0]["DOCTIME(N)"]) == parse_date("01/01/2001")
+        result = db.query(
+            'SELECT DISTINCT DOCTIME(N) FROM doc("a.xml")[EVERY] N'
+        )
+        assert len(result) == 2

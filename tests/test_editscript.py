@@ -1,0 +1,142 @@
+"""Tests for edit-script operations: inversion and XML round-trip."""
+
+import pytest
+
+from repro.diff.editscript import (
+    DeleteOp,
+    EditScript,
+    InsertOp,
+    MoveOp,
+    ReplaceRootOp,
+    StampOp,
+    UpdateAttrOp,
+    UpdateTextOp,
+    decode_payload,
+    encode_payload,
+)
+from repro.errors import DeltaApplicationError
+from repro.model.identifiers import XIDAllocator
+from repro.model.versioned import stamp_new_nodes
+from repro.xmlcore import element, parse, serialize
+from repro.xmlcore.node import Text
+
+
+def _stamped(tree, ts=100):
+    stamp_new_nodes(tree, XIDAllocator(), ts)
+    return tree
+
+
+class TestOpInversion:
+    def test_insert_delete_are_inverses(self):
+        payload = _stamped(element("r"))
+        op = InsertOp(1, 0, payload)
+        assert op.invert() == DeleteOp(1, 0, payload)
+        assert op.invert().invert() == op
+
+    def test_move_inverse_swaps_endpoints(self):
+        op = MoveOp(5, 1, 0, 2, 3)
+        assert op.invert() == MoveOp(5, 2, 3, 1, 0)
+
+    def test_update_text_inverse(self):
+        assert UpdateTextOp(3, "15", "18").invert() == UpdateTextOp(3, "18", "15")
+
+    def test_attr_inverse_handles_none(self):
+        add = UpdateAttrOp(2, "k", None, "v")
+        assert add.invert() == UpdateAttrOp(2, "k", "v", None)
+
+    def test_stamp_inverse(self):
+        assert StampOp(1, 10, 20).invert() == StampOp(1, 20, 10)
+
+    def test_script_invert_reverses_order(self):
+        ops = [UpdateTextOp(1, "a", "b"), UpdateTextOp(2, "c", "d")]
+        script = EditScript(ops, from_ts=10, to_ts=20)
+        inverse = script.invert()
+        assert [op.xid for op in inverse] == [2, 1]
+        assert inverse.from_ts == 20 and inverse.to_ts == 10
+
+
+class TestPayloadEncoding:
+    def test_element_roundtrip(self):
+        tree = _stamped(element("r", element("n", "Napoli"), price="15"))
+        decoded = decode_payload(encode_payload(tree))
+        assert decoded.equals_deep(tree)
+        assert [(n.xid, n.tstamp) for n in decoded.iter()] == [
+            (n.xid, n.tstamp) for n in tree.iter()
+        ]
+
+    def test_text_roundtrip(self):
+        text = Text("hello")
+        text.xid = 9
+        text.tstamp = 5
+        decoded = decode_payload(encode_payload(text))
+        assert decoded.value == "hello"
+        assert decoded.xid == 9 and decoded.tstamp == 5
+
+    def test_attribute_names_cannot_clash_with_envelope(self):
+        # An element whose *own* attributes are named like the envelope's.
+        from repro.xmlcore.node import Element
+
+        tree = _stamped(Element("e", {"tag": "sneaky", "x": "1", "ts": "2"}))
+        decoded = decode_payload(encode_payload(tree))
+        assert decoded.attrib == {"tag": "sneaky", "x": "1", "ts": "2"}
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(DeltaApplicationError):
+            decode_payload(element("wrong"))
+
+
+class TestScriptXML:
+    def _sample_script(self):
+        return EditScript(
+            [
+                InsertOp(1, 0, _stamped(element("r", element("n", "X")))),
+                DeleteOp(1, 2, _stamped(element("old"), ts=50)),
+                MoveOp(4, 1, 0, 2, 1),
+                UpdateTextOp(5, "15", "18"),
+                UpdateAttrOp(6, "state", "open", None),
+                UpdateAttrOp(6, "new", None, "yes"),
+                StampOp(1, 100, 200),
+                ReplaceRootOp(
+                    _stamped(element("a")), _stamped(element("b"))
+                ),
+            ],
+            from_ts=100,
+            to_ts=200,
+        )
+
+    def test_xml_roundtrip(self):
+        script = self._sample_script()
+        again = EditScript.from_xml(script.to_xml())
+        assert len(again) == len(script)
+        assert again.from_ts == 100 and again.to_ts == 200
+        for original, decoded in zip(script, again):
+            assert type(original) is type(decoded)
+
+    def test_xml_roundtrip_through_text(self):
+        script = self._sample_script()
+        text = serialize(script.to_xml())
+        again = EditScript.from_xml(parse(text))
+        assert again.summary() == script.summary()
+
+    def test_rejects_non_delta(self):
+        with pytest.raises(DeltaApplicationError):
+            EditScript.from_xml(element("nope"))
+
+    def test_rejects_unknown_op(self):
+        bad = element("delta", element("explode"))
+        with pytest.raises(DeltaApplicationError):
+            EditScript.from_xml(bad)
+
+    def test_summary_counts(self):
+        summary = self._sample_script().summary()
+        assert summary["UpdateAttrOp"] == 2
+        assert summary["InsertOp"] == 1
+
+    def test_size_bytes_positive(self):
+        assert self._sample_script().size_bytes() > 50
+
+    def test_empty_script(self):
+        script = EditScript()
+        assert script.is_empty
+        assert len(script) == 0
+        assert EditScript.from_xml(script.to_xml()).is_empty

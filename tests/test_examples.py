@@ -1,0 +1,54 @@
+"""Smoke tests: every example script must run and produce its key output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", capsys)
+        assert "snapshot at 06/03/2001" in out
+        assert "<results>" in out
+        assert "A1" in out and "B2" in out
+
+    def test_restaurant_guide(self, capsys):
+        out = _run_example("restaurant_guide.py", capsys)
+        assert "count = 2" in out
+        assert "(delta reads: 0)" in out  # the Q2 claim, visible in output
+        assert "Akropolis" in out
+        assert "['Napoli']" in out
+
+    def test_web_warehouse(self, capsys):
+        out = _run_example("web_warehouse.py", capsys)
+        assert "crawl campaign report" in out
+        assert "capture ratio" in out
+        assert "document time" in out or "document-time" in out
+
+    def test_change_audit(self, capsys):
+        out = _run_example("change_audit.py", capsys)
+        assert "DocHistory" in out
+        assert "created:" in out
+        assert "delta reads:" in out
+
+    def test_price_rollup(self, capsys):
+        out = _run_example("price_rollup.py", capsys)
+        assert "constant-price periods" in out
+        assert "rewriter off" in out and "rewriter on" in out
+
+    def test_rewriter_saves_delta_reads_in_rollup(self, capsys):
+        out = _run_example("price_rollup.py", capsys)
+        import re
+
+        off = int(re.search(r"rewriter off: \d+ rows, (\d+) delta", out).group(1))
+        on = int(re.search(r"rewriter on : \d+ rows, (\d+) delta", out).group(1))
+        assert on < off

@@ -1,0 +1,147 @@
+"""Tests for the temporal full-text index (alternative 1)."""
+
+import pytest
+
+from repro.clock import UNTIL_CHANGED
+from repro.index import TemporalFullTextIndex, tokenize
+from repro.index.postings import occurrences
+from repro.model.identifiers import XIDAllocator
+from repro.model.versioned import stamp_new_nodes
+from repro.storage import TemporalDocumentStore
+from repro.workload import load_figure1
+from repro.xmlcore import parse
+
+from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+
+
+@pytest.fixture
+def indexed_store():
+    store = TemporalDocumentStore()
+    fti = store.subscribe(TemporalFullTextIndex())
+    load_figure1(store)
+    return store, fti
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Napoli, the Best!") == ["napoli", "the", "best"]
+
+    def test_numbers_are_terms(self):
+        assert tokenize("price: 15") == ["price", "15"]
+
+    def test_hyphen_breaks_underscore_kept(self):
+        assert tokenize("well-known my_tag") == ["well", "known", "my_tag"]
+
+    def test_empty(self):
+        assert tokenize("  ,;  ") == []
+
+
+class TestOccurrences:
+    def test_element_names_indexed(self):
+        tree = parse("<guide><restaurant><name>Napoli</name></restaurant></guide>")
+        stamp_new_nodes(tree, XIDAllocator(), 1)
+        occ = occurrences(tree, doc_id=1)
+        words = {word for word, _xid, _ord in occ}
+        assert {"guide", "restaurant", "name", "napoli"} <= words
+
+    def test_text_attributed_to_containing_element(self):
+        tree = parse("<a><b>word</b></a>")
+        stamp_new_nodes(tree, XIDAllocator(), 1)
+        occ = occurrences(tree, doc_id=1)
+        b_xid = tree.children[0].xid
+        assert ("word", b_xid, 0) in occ
+
+    def test_attribute_values_indexed(self):
+        tree = parse('<a city="Trondheim"/>')
+        stamp_new_nodes(tree, XIDAllocator(), 1)
+        occ = occurrences(tree, doc_id=1)
+        assert ("trondheim", tree.xid, 0) in occ
+
+    def test_repeated_words_get_ordinals(self):
+        tree = parse("<a>again again</a>")
+        stamp_new_nodes(tree, XIDAllocator(), 1)
+        occ = occurrences(tree, doc_id=1)
+        assert ("again", tree.xid, 0) in occ
+        assert ("again", tree.xid, 1) in occ
+
+    def test_ancestors_and_paths(self):
+        tree = parse("<g><r><n>X</n></r></g>")
+        stamp_new_nodes(tree, XIDAllocator(), 1)
+        occ = occurrences(tree, doc_id=1)
+        n_xid = tree.children[0].children[0].xid
+        ancestors, path = occ[("x", n_xid, 0)]
+        assert ancestors == (tree.xid, tree.children[0].xid)
+        assert path == "g/r/n"
+
+
+class TestLookups:
+    def test_lookup_current_only(self, indexed_store):
+        _store, fti = indexed_store
+        assert len(fti.lookup("napoli")) == 1
+        assert fti.lookup("akropolis") == []  # closed on Jan 31
+
+    def test_lookup_t_snapshots(self, indexed_store):
+        _store, fti = indexed_store
+        assert len(fti.lookup_t("akropolis", JAN_26)) == 1
+        assert fti.lookup_t("akropolis", JAN_31) == []
+        assert fti.lookup_t("napoli", JAN_01) != []
+        assert fti.lookup_t("napoli", JAN_01 - 5) == []
+
+    def test_lookup_h_whole_history(self, indexed_store):
+        _store, fti = indexed_store
+        # Price 15 existed (closed), price 18 exists (open): history sees both.
+        assert len(fti.lookup_h("15")) == 1
+        assert len(fti.lookup_h("18")) == 1
+        assert fti.lookup("15") == []
+        assert len(fti.lookup("18")) == 1
+
+    def test_posting_intervals_match_versions(self, indexed_store):
+        _store, fti = indexed_store
+        fifteen = fti.lookup_h("15")[0]
+        assert fifteen.start == JAN_01
+        assert fifteen.end == JAN_31
+        eighteen = fti.lookup_h("18")[0]
+        assert eighteen.start == JAN_31
+        assert eighteen.end == UNTIL_CHANGED
+
+    def test_unchanged_content_has_single_interval_posting(
+        self, indexed_store
+    ):
+        _store, fti = indexed_store
+        # "napoli" survived all three versions: one posting, not three.
+        assert len(fti.lookup_h("napoli")) == 1
+
+    def test_unknown_word(self, indexed_store):
+        _store, fti = indexed_store
+        assert fti.lookup("zebra") == []
+        assert fti.lookup_t("zebra", JAN_26) == []
+        assert fti.lookup_h("zebra") == []
+
+
+class TestMaintenance:
+    def test_document_delete_closes_postings(self, indexed_store):
+        store, fti = indexed_store
+        store.delete("guide.com")
+        assert fti.lookup("napoli") == []
+        assert len(fti.lookup_h("napoli")) == 1
+
+    def test_move_reopens_posting_with_new_ancestors(self):
+        store = TemporalDocumentStore()
+        fti = store.subscribe(TemporalFullTextIndex())
+        store.put("d.xml", "<g><box1><item>gold</item></box1><box2/></g>")
+        store.update("d.xml", "<g><box1/><box2><item>gold</item></box2></g>")
+        postings = fti.lookup_h("gold")
+        assert len(postings) == 2  # closed under box1, open under box2
+        open_postings = [p for p in postings if p.is_open]
+        assert len(open_postings) == 1
+
+    def test_stats_track_postings(self, indexed_store):
+        _store, fti = indexed_store
+        stats = fti.stats
+        assert stats.postings == fti.posting_count()
+        assert stats.postings_opened >= stats.postings_closed
+        assert fti.estimated_bytes() > 0
+
+    def test_words_listing(self, indexed_store):
+        _store, fti = indexed_store
+        assert "restaurant" in fti.words()

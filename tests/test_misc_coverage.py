@@ -1,0 +1,129 @@
+"""Remaining edge cases: crawler re-creation, result rendering, value
+coercion, interval rendering, store helpers."""
+
+import pytest
+
+from repro.clock import Interval, UNTIL_CHANGED, parse_date
+from repro.equality.value import coerce_scalar
+from repro.model.identifiers import EID
+from repro.storage import TemporalDocumentStore
+from repro.warehouse import Crawler, SimulatedWeb
+from repro.workload import load_figure1
+from repro.xmlcore import Text, element, parse, serialize
+
+DAY = 24 * 3600
+T0 = parse_date("01/06/2001")
+
+
+class TestCrawlerRecreation:
+    def test_page_deleted_then_republished_gets_new_identity(self):
+        web = SimulatedWeb()
+        web.publish("p.com", T0, "<page><v>one</v></page>")
+        web.publish("p.com", T0 + DAY, None)
+        web.publish("p.com", T0 + 2 * DAY, "<page><v>two</v></page>")
+        store = TemporalDocumentStore()
+        crawler = Crawler(web, store)
+        assert crawler.crawl("p.com", T0) == "created"
+        assert crawler.crawl("p.com", T0 + DAY) == "deleted"
+        assert crawler.crawl("p.com", T0 + 2 * DAY) == "created"
+        # The paper's remark: a re-introduced document is a new object.
+        assert store.doc_id("p.com") != 0
+        dindex = store.delta_index("p.com")
+        assert not dindex.is_deleted
+        assert len(dindex) == 1
+
+    def test_absent_page_never_stored(self):
+        web = SimulatedWeb()
+        store = TemporalDocumentStore()
+        crawler = Crawler(web, store)
+        assert crawler.crawl("ghost.com", T0) == "absent"
+        assert store.documents(include_deleted=True) == []
+
+
+class TestValueCoercion:
+    def test_scalar_paths(self):
+        assert coerce_scalar(" 15 ") == 15
+        assert coerce_scalar("3.5") == 3.5
+        assert coerce_scalar("abc") == "abc"
+        assert coerce_scalar(7) == 7
+
+    def test_node_inputs(self):
+        assert coerce_scalar(element("p", "42")) == 42
+        assert coerce_scalar(Text("2.25")) == 2.25
+        nested = element("r", element("a", "1"), element("b", "2"))
+        assert coerce_scalar(nested) == 12  # concatenated text content
+
+
+class TestIntervalRendering:
+    def test_str_uses_calendar_dates(self):
+        interval = Interval(parse_date("01/01/2001"), parse_date("15/01/2001"))
+        assert str(interval) == "[01/01/2001, 15/01/2001)"
+
+    def test_current_interval_renders_uc(self):
+        interval = Interval(parse_date("01/01/2001"), UNTIL_CHANGED)
+        assert str(interval).endswith("UC)")
+
+
+class TestResultRendering:
+    def test_multi_value_column_wrapped(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT G/restaurant FROM doc("guide.com")[15/01/2001] G'
+        )
+        xml = result.to_xml()
+        holder = xml.child_elements()[0].child_elements()[0]
+        # Two restaurants in one value: kept inside a <value> wrapper.
+        assert holder.tag == "value"
+        assert len(holder.findall("restaurant")) == 2
+
+    def test_single_element_unwrapped(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT R FROM doc("guide.com")[01/01/2001]/restaurant R'
+        )
+        first_result = result.to_xml().child_elements()[0]
+        assert first_result.child_elements()[0].tag == "restaurant"
+
+    def test_scalar_rendered_as_text(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT COUNT(R) FROM doc("guide.com")/restaurant R'
+        )
+        text = serialize(result.to_xml())
+        assert ">1<" in text
+
+    def test_empty_result_table_renders(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT R FROM doc("guide.com")[01/01/1999]/restaurant R'
+        )
+        assert "R" in str(result)
+        assert result.to_xml().child_elements() == []
+
+
+class TestStoreHelpers:
+    def test_eid_helper(self, figure1_store):
+        store, *_ = figure1_store
+        assert store.eid("guide.com", 2) == EID(store.doc_id("guide.com"), 2)
+
+    def test_name_of(self, figure1_store):
+        store, *_ = figure1_store
+        assert store.name_of(store.doc_id("guide.com")) == "guide.com"
+
+
+class TestParserEntitiesEdge:
+    def test_invalid_hex_reference(self):
+        from repro.errors import XMLSyntaxError
+
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&#xZZ;</a>")
+
+    def test_doctype_with_internal_subset(self):
+        root = parse(
+            "<!DOCTYPE g [<!ELEMENT g (r*)>]><g><r/></g>"
+        )
+        assert root.tag == "g"
+
+    def test_deeply_nested_document(self):
+        depth = 200
+        text = "".join(f"<n{i}>" for i in range(depth))
+        text += "x"
+        text += "".join(f"</n{i}>" for i in reversed(range(depth)))
+        root = parse(text)
+        assert root.subtree_size() == depth + 1

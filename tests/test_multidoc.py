@@ -1,0 +1,120 @@
+"""Integration tests over multi-document collections: identity isolation,
+cross-document queries, and the FTI under interleaved commits."""
+
+import pytest
+
+from repro.clock import parse_date
+from repro.index import LifetimeIndex, TemporalFullTextIndex
+from repro.model.identifiers import EID, TEID
+from repro.operators import TPatternScan
+from repro.pattern import Pattern
+from repro.query import QueryEngine
+from repro.storage import TemporalDocumentStore
+
+DAY = 24 * 3600
+T0 = parse_date("01/05/2001")
+
+
+@pytest.fixture
+def multistore():
+    store = TemporalDocumentStore()
+    fti = store.subscribe(TemporalFullTextIndex())
+    lifetime = store.subscribe(LifetimeIndex())
+    # Interleaved commits across three documents.
+    store.put("a.xml", "<list><item>red</item></list>", ts=T0)
+    store.put("b.xml", "<list><item>red</item><item>blue</item></list>",
+              ts=T0 + 1 * DAY)
+    store.update("a.xml", "<list><item>green</item></list>", ts=T0 + 2 * DAY)
+    store.put("c.xml", "<list><note>red sky</note></list>", ts=T0 + 3 * DAY)
+    store.update("b.xml", "<list><item>blue</item></list>", ts=T0 + 4 * DAY)
+    store.delete("c.xml", ts=T0 + 5 * DAY)
+    return store, fti, lifetime
+
+
+class TestIdentityIsolation:
+    def test_xids_independent_per_document(self, multistore):
+        store, _fti, _lifetime = multistore
+        a_root = store.current("a.xml")
+        b_root = store.current("b.xml")
+        # Same XID value can occur in both documents; EIDs differ.
+        assert a_root.xid == b_root.xid == 1
+        assert EID(store.doc_id("a.xml"), 1) != EID(store.doc_id("b.xml"), 1)
+
+    def test_teids_resolve_to_their_document(self, multistore):
+        store, _fti, _lifetime = multistore
+        teid_a = TEID(store.doc_id("a.xml"), 1, T0)
+        teid_b = TEID(store.doc_id("b.xml"), 1, T0 + DAY)
+        assert store.subtree(teid_a).find("item").text == "red"
+        assert len(store.subtree(teid_b).findall("item")) == 2
+
+
+class TestCrossDocumentFTI:
+    def test_word_found_in_all_containing_docs(self, multistore):
+        store, fti, _lifetime = multistore
+        at = T0 + 3 * DAY
+        postings = fti.lookup_t("red", at)
+        docs = {p.doc_id for p in postings}
+        # a.xml dropped "red" at T0+2; b and c carry it at T0+3.
+        assert docs == {store.doc_id("b.xml"), store.doc_id("c.xml")}
+
+    def test_current_lookup_reflects_all_closures(self, multistore):
+        store, fti, _lifetime = multistore
+        # "red" left a.xml by update, b.xml by update, c.xml by document
+        # deletion — three different closure paths, all observed.
+        assert fti.lookup("red") == []
+        blue_docs = {p.doc_id for p in fti.lookup("blue")}
+        assert blue_docs == {store.doc_id("b.xml")}
+        assert len(fti.lookup_h("red")) == 3
+
+    def test_pattern_scan_with_doc_filter(self, multistore):
+        store, fti, _lifetime = multistore
+        pattern = Pattern.from_path("item", value="blue")
+        at = T0 + 4 * DAY
+        all_docs = TPatternScan(fti, pattern, at, store=store).teids()
+        only_a = TPatternScan(
+            fti, pattern, at, docs={store.doc_id("a.xml")}, store=store
+        ).teids()
+        assert len(all_docs) == 1
+        assert only_a == []
+
+
+class TestLifetimeAcrossDocuments:
+    def test_spans_keyed_by_eid(self, multistore):
+        store, _fti, lifetime = multistore
+        c_id = store.doc_id("c.xml")
+        assert lifetime.create_time(EID(c_id, 1)) == T0 + 3 * DAY
+        assert lifetime.delete_time(EID(c_id, 1)) == T0 + 5 * DAY
+        a_id = store.doc_id("a.xml")
+        assert lifetime.delete_time(EID(a_id, 1)) is None
+
+
+class TestCrossDocumentQueries:
+    def test_glob_over_every(self, multistore):
+        store, fti, _lifetime = multistore
+        engine = QueryEngine(store, fti=fti)
+        result = engine.execute('SELECT TIME(D) FROM doc("*")[EVERY] D')
+        # a: 2 versions, b: 2 versions, c: 1 version.
+        assert len(result) == 5
+
+    def test_join_across_documents(self, multistore):
+        store, fti, _lifetime = multistore
+        engine = QueryEngine(store, fti=fti)
+        from repro.clock import format_timestamp
+
+        at = format_timestamp(T0 + 1 * DAY)
+        result = engine.execute(
+            f'SELECT A, B FROM doc("a.xml")[{at}]/item A, '
+            f'doc("b.xml")[{at}]/item B WHERE A = B'
+        )
+        assert len(result) == 1  # "red" on both sites that day
+
+    def test_snapshot_of_mixed_existence(self, multistore):
+        store, fti, _lifetime = multistore
+        engine = QueryEngine(store, fti=fti)
+        from repro.clock import format_timestamp
+
+        before_c = format_timestamp(T0 + 2 * DAY)
+        result = engine.execute(
+            f'SELECT D FROM doc("*")[{before_c}] D'
+        )
+        assert len(result) == 2  # c.xml does not exist yet

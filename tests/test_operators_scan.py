@@ -1,0 +1,150 @@
+"""Tests for PatternScan, TPatternScan, TPatternScanAll."""
+
+import pytest
+
+from repro.index import TemporalFullTextIndex
+from repro.operators import PatternScan, Reconstruct, TPatternScan, TPatternScanAll
+from repro.pattern import Pattern
+from repro.storage import TemporalDocumentStore
+from repro.workload import load_figure1
+
+from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+
+
+@pytest.fixture
+def setup():
+    store = TemporalDocumentStore()
+    fti = store.subscribe(TemporalFullTextIndex())
+    load_figure1(store)
+    return store, fti
+
+
+def _names(store, teids):
+    out = []
+    for teid in teids:
+        subtree = Reconstruct(store, teid).run()
+        out.append(subtree.find("name").text)
+    return sorted(out)
+
+
+class TestPatternScan:
+    def test_current_snapshot_only(self, setup):
+        store, fti = setup
+        scan = PatternScan(fti, Pattern.from_path("restaurant"))
+        teids = scan.teids()
+        assert _names(store, teids) == ["Napoli"]
+
+    def test_value_pattern(self, setup):
+        store, fti = setup
+        pattern = Pattern.from_path(
+            "restaurant/name", value="Napoli", project_last=False
+        )
+        assert len(PatternScan(fti, pattern).teids()) == 1
+        gone = Pattern.from_path(
+            "restaurant/name", value="Akropolis", project_last=False
+        )
+        assert PatternScan(fti, gone).teids() == []
+
+    def test_doc_restriction(self, setup):
+        store, fti = setup
+        store.put("other.com", "<guide><restaurant><name>Solo</name></restaurant></guide>")
+        pattern = Pattern.from_path("restaurant")
+        unrestricted = PatternScan(fti, pattern).teids()
+        assert len(unrestricted) == 2
+        restricted = PatternScan(
+            fti, pattern, docs={store.doc_id("other.com")}
+        ).teids()
+        assert len(restricted) == 1
+
+
+class TestTPatternScan:
+    def test_snapshot_at_jan26(self, setup):
+        store, fti = setup
+        scan = TPatternScan(
+            fti, Pattern.from_path("restaurant"), JAN_26, store=store
+        )
+        assert _names(store, scan.teids()) == ["Akropolis", "Napoli"]
+
+    def test_snapshot_at_jan01(self, setup):
+        store, fti = setup
+        scan = TPatternScan(
+            fti, Pattern.from_path("restaurant"), JAN_01, store=store
+        )
+        assert _names(store, scan.teids()) == ["Napoli"]
+
+    def test_before_creation_empty(self, setup):
+        store, fti = setup
+        scan = TPatternScan(
+            fti, Pattern.from_path("restaurant"), JAN_01 - 10, store=store
+        )
+        assert scan.teids() == []
+
+    def test_teids_normalized_to_version_commit(self, setup):
+        store, fti = setup
+        scan = TPatternScan(
+            fti, Pattern.from_path("restaurant"), JAN_26, store=store
+        )
+        assert {t.timestamp for t in scan.teids()} == {JAN_15}
+
+    def test_without_store_uses_query_time(self, setup):
+        _store, fti = setup
+        scan = TPatternScan(fti, Pattern.from_path("restaurant"), JAN_26)
+        assert {t.timestamp for t in scan.teids()} == {JAN_26}
+
+
+class TestTPatternScanAll:
+    def test_whole_history(self, setup):
+        store, fti = setup
+        scan = TPatternScanAll(
+            fti, Pattern.from_path("restaurant"), store=store
+        )
+        matches = scan.run()
+        # Napoli has one maximal interval; Akropolis another.
+        assert len(matches) == 2
+
+    def test_match_intervals(self, setup):
+        store, fti = setup
+        pattern = Pattern.from_path(
+            "restaurant/name", value="Akropolis", project_last=False
+        )
+        match = TPatternScanAll(fti, pattern, store=store).run()[0]
+        assert match.interval.start == JAN_15
+        assert match.interval.end == JAN_31
+
+    def test_per_version_expansion(self, setup):
+        store, fti = setup
+        pattern = Pattern.from_path(
+            "restaurant/name", value="Napoli", project_last=False
+        )
+        scan = TPatternScanAll(fti, pattern, store=store)
+        teids = scan.teids_per_version()
+        assert [t.timestamp for t in teids] == [JAN_01, JAN_15, JAN_31]
+        # All versions of the same element share the EID.
+        assert len({t.eid for t in teids}) == 1
+
+    def test_per_version_requires_store(self, setup):
+        _store, fti = setup
+        scan = TPatternScanAll(fti, Pattern.from_path("restaurant"))
+        with pytest.raises(ValueError):
+            scan.teids_per_version()
+
+    def test_value_that_never_existed(self, setup):
+        store, fti = setup
+        pattern = Pattern.from_path(
+            "restaurant/name", value="Atlantis", project_last=False
+        )
+        assert TPatternScanAll(fti, pattern, store=store).run() == []
+
+    def test_temporal_join_rejects_disjoint_combination(self, setup):
+        store, fti = setup
+        # "akropolis" (Jan 15-31) never coexists with price "18" (Jan 31-).
+        pattern = Pattern.from_path(
+            "restaurant", value="18", project_last=False
+        )
+        # restrict further: restaurant containing both akropolis and 18
+        from repro.pattern import PatternNode
+
+        root = pattern.nodes()[0]
+        root.add(PatternNode("akropolis", kind="word", relationship="contains"))
+        rebuilt = Pattern(root)
+        assert TPatternScanAll(fti, rebuilt, store=store).run() == []

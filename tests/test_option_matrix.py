@@ -1,0 +1,99 @@
+"""Every engine configuration must return the same answers.
+
+The execution knobs (pattern index on/off, rewriter on/off, lifetime
+strategy) only change *costs*; this matrix pins that invariant across the
+paper's query shapes on the Figure 1 data and on a synthetic collection.
+"""
+
+import itertools
+
+import pytest
+
+from repro.index import LifetimeIndex, TemporalFullTextIndex
+from repro.query import QueryEngine, QueryOptions
+from repro.storage import TemporalDocumentStore
+from repro.workload import TDocGenerator, build_collection, load_figure1
+
+FIGURE1_QUERIES = (
+    'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R',
+    'SELECT SUM(R) FROM doc("guide.com")[26/01/2001]/restaurant R',
+    'SELECT TIME(R), R/price FROM doc("guide.com")[EVERY]/restaurant R '
+    'WHERE R/name="Napoli"',
+    'SELECT DISTINCT R/name FROM doc("guide.com")[EVERY]/restaurant R '
+    "WHERE CREATE TIME(R) >= 11/01/2001",
+    'SELECT R/name FROM doc("guide.com")[EVERY]/restaurant R '
+    "WHERE TIME(R) >= 15/01/2001 AND R/price > 12",
+    'SELECT CURRENT(R)/price FROM doc("guide.com")[01/01/2001]/restaurant R',
+)
+
+_COMBOS = list(itertools.product(
+    (True, False),            # use_pattern_index
+    (True, False),            # use_rewriter
+    ("index", "traverse"),    # lifetime_strategy
+))
+
+
+def _engines(store, fti, lifetime):
+    for use_index, use_rewriter, strategy in _COMBOS:
+        options = QueryOptions(
+            use_pattern_index=use_index,
+            lifetime_strategy=strategy,
+            use_rewriter=use_rewriter,
+        )
+        yield QueryEngine(
+            store, fti=fti, lifetime=lifetime, options=options
+        ), (use_index, use_rewriter, strategy)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    store = TemporalDocumentStore()
+    fti = store.subscribe(TemporalFullTextIndex())
+    lifetime = store.subscribe(LifetimeIndex())
+    load_figure1(store)
+    return store, fti, lifetime
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    store = TemporalDocumentStore()
+    fti = store.subscribe(TemporalFullTextIndex())
+    lifetime = store.subscribe(LifetimeIndex())
+    build_collection(
+        store, n_docs=3, versions_per_doc=6,
+        generator=TDocGenerator(seed=55),
+    )
+    return store, fti, lifetime
+
+
+class TestFigure1Matrix:
+    @pytest.mark.parametrize("query", FIGURE1_QUERIES)
+    def test_all_configurations_agree(self, figure1, query):
+        store, fti, lifetime = figure1
+        results = {}
+        for engine, combo in _engines(store, fti, lifetime):
+            rows = tuple(sorted(str(engine.execute(query)).splitlines()))
+            results[combo] = rows
+        distinct = set(results.values())
+        assert len(distinct) == 1, {
+            combo: rows for combo, rows in results.items()
+        }
+
+
+class TestSyntheticMatrix:
+    QUERIES = (
+        'SELECT COUNT(I) FROM doc("*")//item I',
+        'SELECT TIME(D) FROM doc("doc2.xml")[EVERY] D '
+        "WHERE TIME(D) > 03/01/2001",
+        'SELECT I FROM doc("doc1.xml")[EVERY]//item I',
+    )
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_all_configurations_agree(self, synthetic, query):
+        store, fti, lifetime = synthetic
+        results = set()
+        for engine, _combo in _engines(store, fti, lifetime):
+            results.add(
+                tuple(sorted(str(engine.execute(query)).splitlines()))
+            )
+        assert len(results) == 1

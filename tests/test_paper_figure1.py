@@ -1,0 +1,99 @@
+"""The paper's own worked examples, end to end (Figure 1 + Q1/Q2/Q3 +
+Section 6.1's operator snippets), as executable assertions.
+
+This is the closest thing the paper has to an evaluation section; the
+benchmark `bench_figure1_queries.py` regenerates the same rows with cost
+columns attached.
+"""
+
+from repro.clock import format_timestamp
+from repro.xmlcore import Path
+
+from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+
+
+class TestFigure1Timeline:
+    """Figure 1: the restaurant list as retrieved on 01/01, 15/01, 31/01."""
+
+    def test_january_1st(self, figure1_db):
+        tree = figure1_db.snapshot("guide.com", JAN_01)
+        restaurants = Path("restaurant").select(tree)
+        assert [(r.find("name").text, r.find("price").text) for r in restaurants] == [
+            ("Napoli", "15")
+        ]
+
+    def test_january_15th(self, figure1_db):
+        tree = figure1_db.snapshot("guide.com", JAN_15)
+        restaurants = Path("restaurant").select(tree)
+        assert [(r.find("name").text, r.find("price").text) for r in restaurants] == [
+            ("Napoli", "15"),
+            ("Akropolis", "13"),
+        ]
+
+    def test_january_31st(self, figure1_db):
+        tree = figure1_db.snapshot("guide.com", JAN_31)
+        restaurants = Path("restaurant").select(tree)
+        assert [(r.find("name").text, r.find("price").text) for r in restaurants] == [
+            ("Napoli", "18")
+        ]
+
+
+class TestSection6Queries:
+    def test_q1_list_restaurants_as_of_jan26(self, figure1_db):
+        """Q1: TPatternScan followed by Reconstruct."""
+        result = figure1_db.query(
+            'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R'
+        )
+        names = sorted(
+            row["R"].tree.find("name").text for row in result
+        )
+        assert names == ["Akropolis", "Napoli"]
+
+    def test_q2_count_without_reconstruction(self, figure1_db):
+        """Q2: TPatternScan + Sum; "reconstruction ... is not needed"."""
+        repo = figure1_db.store.repository
+        repo.delta_reads = 0
+        result = figure1_db.query(
+            'SELECT SUM(R) FROM doc("guide.com")[26/01/2001]/restaurant R'
+        )
+        assert result.scalar() == 2
+        assert repo.delta_reads == 0
+
+    def test_q3_price_history(self, figure1_db):
+        """Q3: TPatternScanAll; predicate acts on all versions."""
+        result = figure1_db.query(
+            'SELECT TIME(R), R/price '
+            'FROM doc("guide.com")[EVERY]/restaurant R '
+            'WHERE R/name="Napoli"'
+        )
+        rows = [
+            (
+                format_timestamp(int(row["TIME(R)"])),
+                row["R/price"][0].node.text_content(),
+            )
+            for row in result
+        ]
+        assert rows == [
+            ("01/01/2001", "15"),
+            ("15/01/2001", "15"),
+            ("31/01/2001", "18"),
+        ]
+
+    def test_price_increase_query_section74(self, figure1_db):
+        """The Section 7.4 example: restaurants that increased their price
+        since 10/01/2001 — compared by name (the ambiguous variant) and by
+        identity (the EID variant)."""
+        by_name = figure1_db.query(
+            'SELECT R1/name FROM doc("guide.com")[10/01/2001]/restaurant R1, '
+            'doc("guide.com")/restaurant R2 '
+            "WHERE R1/name = R2/name AND R1/price < R2/price"
+        )
+        by_identity = figure1_db.query(
+            'SELECT R1/name FROM doc("guide.com")[10/01/2001]/restaurant R1, '
+            'doc("guide.com")/restaurant R2 '
+            "WHERE R1 == R2 AND R1/price < R2/price"
+        )
+        for result in (by_name, by_identity):
+            assert [
+                v.node.text_content() for row in result for v in row["R1/name"]
+            ] == ["Napoli"]

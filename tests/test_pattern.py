@@ -1,0 +1,153 @@
+"""Tests for pattern trees and the structural join."""
+
+import pytest
+
+from repro.clock import Interval
+from repro.errors import QueryPlanError
+from repro.index import TemporalFullTextIndex
+from repro.index.postings import Posting
+from repro.pattern import Pattern, PatternNode, structural_join
+from repro.storage import TemporalDocumentStore
+from repro.workload import load_figure1
+
+from tests.conftest import JAN_26
+
+
+class TestPatternTree:
+    def test_from_path_chain(self):
+        pattern = Pattern.from_path("restaurant/name")
+        terms = [n.term for n in pattern.nodes()]
+        assert terms == ["restaurant", "name"]
+        assert pattern.edges() == [(0, 1, "child")]
+
+    def test_from_path_descendant(self):
+        pattern = Pattern.from_path("guide//price")
+        assert pattern.edges() == [(0, 1, "descendant")]
+
+    def test_value_words_attach_to_last_step(self):
+        pattern = Pattern.from_path("restaurant/name", value="Napoli Pizza")
+        terms = [n.term for n in pattern.nodes()]
+        assert terms == ["restaurant", "name", "napoli", "pizza"]
+        assert (1, 2, "contains") in pattern.edges()
+        assert (1, 3, "contains") in pattern.edges()
+
+    def test_projection_default_and_explicit(self):
+        last = Pattern.from_path("a/b")
+        assert last.projected_index() == 1
+        first = Pattern.from_path("a/b", project_last=False)
+        assert first.projected_index() == 0
+
+    def test_wildcard_rejected(self):
+        with pytest.raises(QueryPlanError):
+            Pattern.from_path("a/*")
+
+    def test_multiword_term_rejected(self):
+        with pytest.raises(QueryPlanError):
+            PatternNode("two words")
+
+    def test_root_projected_when_none_marked(self):
+        root = PatternNode("a")
+        root.add(PatternNode("b"))
+        pattern = Pattern(root)
+        assert pattern.projected_index() == 0
+
+
+def _posting(doc, xid, ancestors, path="", start=0, end=100):
+    return Posting(doc, xid, tuple(ancestors), path, start, end)
+
+
+class TestStructuralJoin:
+    def _pattern(self):
+        return Pattern.from_path("r/n", project_last=False)
+
+    def test_parent_relationship(self):
+        pattern = self._pattern()
+        r = _posting(1, 2, (1,))
+        n_child = _posting(1, 5, (1, 2))
+        n_elsewhere = _posting(1, 7, (1, 3))
+        matches = structural_join(pattern, [[r], [n_child, n_elsewhere]])
+        assert len(matches) == 1
+        assert matches[0].postings[1].xid == 5
+
+    def test_descendant_relationship(self):
+        root = PatternNode("r")
+        root.add(PatternNode("n", relationship="descendant"))
+        pattern = Pattern(root)
+        r = _posting(1, 2, (1,))
+        deep = _posting(1, 9, (1, 2, 4))
+        outside = _posting(1, 10, (1, 3))
+        matches = structural_join(pattern, [[r], [deep, outside]])
+        assert [m.postings[1].xid for m in matches] == [9]
+
+    def test_containment_relationship(self):
+        root = PatternNode("n")
+        root.add(PatternNode("napoli", kind="word", relationship="contains"))
+        pattern = Pattern(root)
+        n = _posting(1, 5, (1, 2))
+        word_same = _posting(1, 5, (1, 2))
+        word_below = _posting(1, 8, (1, 2, 5))
+        word_outside = _posting(1, 9, (1, 2, 6))
+        matches = structural_join(
+            pattern, [[n], [word_same, word_below, word_outside]]
+        )
+        assert len(matches) == 2
+
+    def test_document_must_match(self):
+        pattern = self._pattern()
+        matches = structural_join(
+            pattern, [[_posting(1, 2, (1,))], [_posting(2, 5, (1, 2))]]
+        )
+        assert matches == []
+
+    def test_empty_list_short_circuits(self):
+        pattern = self._pattern()
+        assert structural_join(pattern, [[_posting(1, 2, (1,))], []]) == []
+
+    def test_temporal_intersection_required(self):
+        pattern = self._pattern()
+        r = _posting(1, 2, (1,), start=0, end=10)
+        n = _posting(1, 5, (1, 2), start=10, end=20)
+        assert structural_join(pattern, [[r], [n]]) == []
+        n_overlap = _posting(1, 5, (1, 2), start=5, end=20)
+        matches = structural_join(pattern, [[r], [n_overlap]])
+        assert matches[0].interval == Interval(5, 10)
+
+    def test_wrong_list_count(self):
+        with pytest.raises(ValueError):
+            structural_join(self._pattern(), [[]])
+
+    def test_duplicate_bindings_deduped(self):
+        root = PatternNode("n")
+        root.add(PatternNode("again", kind="word", relationship="contains"))
+        pattern = Pattern(root)
+        n = _posting(1, 5, (1,))
+        # Two ordinal postings of the same word at the same element.
+        w0 = _posting(1, 5, (1,))
+        w1 = _posting(1, 5, (1,))
+        matches = structural_join(pattern, [[n], [w0, w1]])
+        assert len(matches) == 1
+
+    def test_teid_of_projected_node(self):
+        pattern = Pattern.from_path("r/n", project_last=False)
+        r = _posting(3, 2, (1,), start=50, end=100)
+        n = _posting(3, 5, (1, 2), start=50, end=100)
+        match = structural_join(pattern, [[r], [n]])[0]
+        teid = match.teid(pattern)
+        assert (teid.doc_id, teid.xid, teid.timestamp) == (3, 2, 50)
+        at = match.teid(pattern, at=75)
+        assert at.timestamp == 75
+
+
+class TestAgainstRealIndex:
+    def test_figure1_pattern(self):
+        store = TemporalDocumentStore()
+        fti = store.subscribe(TemporalFullTextIndex())
+        load_figure1(store)
+        pattern = Pattern.from_path(
+            "restaurant/name", value="Napoli", project_last=False
+        )
+        lists = [fti.lookup_t(n.term, JAN_26) for n in pattern.nodes()]
+        matches = structural_join(pattern, lists)
+        assert len(matches) == 1
+        restaurant = matches[0].postings[0]
+        assert restaurant.path == "guide/restaurant"

@@ -1,0 +1,201 @@
+"""Tests for the store archive: dump, load, replay."""
+
+import pytest
+
+from repro import TemporalXMLDatabase
+from repro.clock import parse_date
+from repro.errors import StorageError
+from repro.storage import TemporalDocumentStore
+from repro.storage.persistence import (
+    dump_store,
+    load_store,
+    replay_history,
+)
+from repro.index import LifetimeIndex, TemporalFullTextIndex
+from repro.workload import TDocGenerator, build_collection, load_figure1
+from repro.xmlcore import serialize
+
+from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+
+
+@pytest.fixture
+def populated():
+    store = TemporalDocumentStore(snapshot_interval=3)
+    load_figure1(store)
+    build_collection(
+        store, n_docs=2, versions_per_doc=4,
+        generator=TDocGenerator(seed=9),
+        start_ts=parse_date("01/03/2001"),
+    )
+    store.delete("doc2.xml", ts=parse_date("01/04/2001"))
+    return store
+
+
+class TestRoundTrip:
+    def test_every_version_identical(self, populated, tmp_path):
+        path = tmp_path / "archive.xml"
+        dump_store(populated, str(path))
+        loaded = load_store(str(path))
+        for name in populated.documents(include_deleted=True):
+            original_index = populated.delta_index(name)
+            loaded_index = loaded.delta_index(name)
+            assert len(original_index) == len(loaded_index)
+            assert original_index.deleted_at == loaded_index.deleted_at
+            for entry in original_index.entries:
+                assert (
+                    loaded_index.entry(entry.number).timestamp
+                    == entry.timestamp
+                )
+                original_tree = populated.version(name, entry.number)
+                loaded_tree = loaded.version(name, entry.number)
+                assert serialize(original_tree) == serialize(loaded_tree)
+                # XIDs and element timestamps survive exactly.
+                assert [
+                    (n.xid, n.tstamp) for n in loaded_tree.iter()
+                ] == [(n.xid, n.tstamp) for n in original_tree.iter()]
+
+    def test_doc_ids_and_names_stable(self, populated):
+        archive = dump_store(populated)
+        loaded = load_store(archive)
+        for name in populated.documents(include_deleted=True):
+            assert loaded.doc_id(name) == populated.doc_id(name)
+
+    def test_clock_restored(self, populated):
+        loaded = load_store(dump_store(populated))
+        assert loaded.clock.now() == populated.clock.now()
+
+    def test_allocator_state_restored(self, populated):
+        loaded = load_store(dump_store(populated))
+        for name in populated.documents(include_deleted=True):
+            assert (
+                loaded.record(name).allocator.next_xid
+                == populated.record(name).allocator.next_xid
+            )
+
+    def test_updates_continue_after_load(self, populated):
+        loaded = load_store(dump_store(populated))
+        old_root = loaded.current("guide.com")
+        number = loaded.update(
+            "guide.com",
+            "<guide><restaurant><name>Nuovo</name><price>9</price>"
+            "</restaurant></guide>",
+        )
+        assert number == 4
+        fresh = loaded.current("guide.com")
+        # New XIDs continue past the restored allocator state.
+        assert max(n.xid for n in fresh.iter()) > max(
+            n.xid for n in old_root.iter()
+        )
+
+    def test_archive_is_valid_xml_text(self, populated, tmp_path):
+        path = tmp_path / "archive.xml"
+        dump_store(populated, str(path))
+        text = path.read_text()
+        assert text.startswith("<temporalstore")
+        loaded = load_store(text)  # load from text as well as from path
+        assert set(loaded.documents(include_deleted=True)) == set(
+            populated.documents(include_deleted=True)
+        )
+
+
+class TestReplay:
+    def test_indexes_match_online_state(self, populated):
+        online_fti = TemporalFullTextIndex()
+        online_life = LifetimeIndex()
+        replay_history(populated, [online_fti, online_life])
+
+        loaded = load_store(dump_store(populated))
+        replayed_fti = TemporalFullTextIndex()
+        replayed_life = LifetimeIndex()
+        replay_history(loaded, [replayed_fti, replayed_life])
+
+        assert replayed_fti.posting_count() == online_fti.posting_count()
+        for word in online_fti.words():
+            original = {
+                (p.doc_id, p.xid, p.start, p.end)
+                for p in online_fti.lookup_h(word)
+            }
+            rebuilt = {
+                (p.doc_id, p.xid, p.start, p.end)
+                for p in replayed_fti.lookup_h(word)
+            }
+            assert original == rebuilt, word
+        assert len(replayed_life) == len(online_life)
+
+    def test_replay_orders_events_globally(self, populated):
+        seen = []
+
+        class Recorder:
+            def document_committed(self, event):
+                seen.append(event.timestamp)
+
+        replay_history(populated, [Recorder()])
+        assert seen == sorted(seen)
+
+
+class TestDatabaseFacade:
+    def test_save_load_query_equivalence(self, tmp_path):
+        db = TemporalXMLDatabase()
+        load_figure1(db)
+        path = tmp_path / "db.xml"
+        db.save(str(path))
+        restored = TemporalXMLDatabase.load(str(path))
+        for query in (
+            'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R',
+            'SELECT TIME(R), R/price '
+            'FROM doc("guide.com")[EVERY]/restaurant R '
+            'WHERE R/name="Napoli"',
+            'SELECT CREATE TIME(R) '
+            'FROM doc("guide.com")[26/01/2001]/restaurant R',
+        ):
+            assert str(restored.query(query)) == str(db.query(query))
+
+    def test_loaded_database_accepts_commits(self, tmp_path):
+        db = TemporalXMLDatabase()
+        load_figure1(db)
+        path = tmp_path / "db.xml"
+        db.save(str(path))
+        restored = TemporalXMLDatabase.load(str(path))
+        restored.update(
+            "guide.com",
+            "<guide><restaurant><name>Roma</name><price>30</price>"
+            "</restaurant></guide>",
+        )
+        result = restored.query(
+            'SELECT R/name FROM doc("guide.com")/restaurant R'
+        )
+        assert len(result) == 1
+        # The FTI saw the new commit (it was subscribed after replay).
+        assert restored.fti.lookup("roma")
+
+
+class TestArchiveValidation:
+    def test_bad_format_rejected(self):
+        from repro.xmlcore import Element
+
+        bad = Element("temporalstore", {"format": "99", "clock": "0"})
+        with pytest.raises(StorageError):
+            load_store(bad)
+
+    def test_unexpected_elements_rejected(self):
+        from repro.xmlcore import Element
+
+        archive = Element(
+            "temporalstore", {"format": "1", "clock": "0"}
+        )
+        archive.append(Element("garbage"))
+        with pytest.raises(StorageError):
+            load_store(archive)
+
+    def test_missing_current_rejected(self):
+        from repro.xmlcore import Element
+
+        archive = Element("temporalstore", {"format": "1", "clock": "0"})
+        doc = Element(
+            "document", {"id": "1", "name": "x", "nextxid": "5"}
+        )
+        version = Element("version", {"number": "1", "ts": "100"})
+        doc.append(version)
+        archive.append(doc)
+        with pytest.raises(StorageError):
+            load_store(archive)

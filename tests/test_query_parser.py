@@ -1,0 +1,206 @@
+"""Tests for the TXQL lexer and parser."""
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY, parse_date
+from repro.errors import QuerySyntaxError
+from repro.query import parse_query, tokenize_query
+from repro.query.ast import (
+    EVERY,
+    BinOp,
+    DateLiteral,
+    FuncCall,
+    IntervalLiteral,
+    Literal,
+    NotOp,
+    NowLiteral,
+    VarPath,
+    is_aggregate_expr,
+)
+from repro.query.lexer import DATE, IDENT, NUMBER, STRING, SYMBOL
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize_query('SELECT R FROM doc("g.com") R')
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [IDENT, IDENT, IDENT, IDENT, SYMBOL, STRING, SYMBOL, IDENT]
+
+    def test_date_not_three_numbers(self):
+        tokens = tokenize_query("26/01/2001")
+        assert tokens[0].kind == DATE
+        assert tokens[0].value == "26/01/2001"
+
+    def test_path_not_date(self):
+        tokens = tokenize_query("R/price")
+        assert [t.kind for t in tokens[:-1]] == [IDENT, SYMBOL, IDENT]
+
+    def test_two_char_symbols(self):
+        tokens = tokenize_query("a//b <= c == d != e >= f")
+        symbols = [t.value for t in tokens if t.kind == SYMBOL]
+        assert symbols == ["//", "<=", "==", "!=", ">="]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize_query("\"double\" 'single'")
+        assert [t.value for t in tokens[:-1]] == ["double", "single"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query('SELECT "oops')
+
+    def test_junk_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query("SELECT R § FROM")
+
+    def test_numbers(self):
+        tokens = tokenize_query("15 3.25")
+        assert [t.kind for t in tokens[:-1]] == [NUMBER, NUMBER]
+
+
+class TestParserStructure:
+    def test_q1_shape(self):
+        q = parse_query(
+            'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R'
+        )
+        assert len(q.select_items) == 1
+        assert isinstance(q.select_items[0], VarPath)
+        item = q.from_items[0]
+        assert item.url == "guide.com"
+        assert isinstance(item.time_spec, DateLiteral)
+        assert item.time_spec.ts == parse_date("26/01/2001")
+        assert item.path == "restaurant"
+        assert item.var == "R"
+
+    def test_every(self):
+        q = parse_query('SELECT R FROM doc("g")[EVERY]/r R')
+        assert q.from_items[0].time_spec is EVERY
+
+    def test_no_qualifier_means_current(self):
+        q = parse_query('SELECT R FROM doc("g")/r R')
+        assert q.from_items[0].time_spec is None
+
+    def test_descendant_path(self):
+        q = parse_query('SELECT R FROM doc("g")//price R')
+        assert q.from_items[0].path == "//price"
+
+    def test_no_path_binds_root(self):
+        q = parse_query('SELECT D FROM doc("g") D')
+        assert q.from_items[0].path == ""
+
+    def test_as_keyword_optional(self):
+        q = parse_query('SELECT R FROM doc("g")/r AS R')
+        assert q.from_items[0].var == "R"
+
+    def test_multiple_from_items(self):
+        q = parse_query(
+            'SELECT R1 FROM doc("g")[01/01/2001]/r R1, doc("g")/r R2 '
+            "WHERE R1/name = R2/name"
+        )
+        assert [f.var for f in q.from_items] == ["R1", "R2"]
+
+    def test_distinct(self):
+        q = parse_query('SELECT DISTINCT R FROM doc("g")/r R')
+        assert q.distinct
+
+    def test_label_round_trip_parses(self):
+        text = (
+            'SELECT TIME(R), R/price FROM doc("g")[EVERY]/restaurant R '
+            'WHERE R/name = "Napoli"'
+        )
+        q = parse_query(text)
+        again = parse_query(q.label())
+        assert again.label() == q.label()
+
+
+class TestParserExpressions:
+    def _where(self, text):
+        return parse_query(f'SELECT R FROM doc("g")/r R WHERE {text}').where
+
+    def test_comparison_operators(self):
+        for op in ("=", "==", "~", "!=", "<", "<=", ">", ">="):
+            expr = self._where(f"R/price {op} 10")
+            assert isinstance(expr, BinOp) and expr.op == op
+
+    def test_and_or_precedence(self):
+        expr = self._where("R = 1 OR R = 2 AND R = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_parentheses(self):
+        expr = self._where("(R = 1 OR R = 2) AND R = 3")
+        assert expr.op == "AND"
+        assert expr.left.op == "OR"
+
+    def test_not(self):
+        expr = self._where('NOT R/name = "X"')
+        assert isinstance(expr, NotOp)
+
+    def test_var_path_expression(self):
+        expr = self._where("R/menu//price < 10")
+        assert expr.left.path == "menu//price"
+
+    def test_functions(self):
+        q = parse_query(
+            "SELECT TIME(R), PREVIOUS(R), DIFF(R, R) "
+            'FROM doc("g")/r R'
+        )
+        names = [item.name for item in q.select_items]
+        assert names == ["TIME", "PREVIOUS", "DIFF"]
+
+    def test_two_word_functions(self):
+        expr = self._where("CREATE TIME(R) >= 11/01/2001")
+        assert expr.left.name == "CREATE_TIME"
+        expr = self._where("DELETE TIME(R) < NOW")
+        assert expr.left.name == "DELETE_TIME"
+
+    def test_time_arithmetic(self):
+        expr = self._where("TIME(R) > NOW - 14 DAYS")
+        right = expr.right
+        assert isinstance(right, BinOp) and right.op == "-"
+        assert isinstance(right.left, NowLiteral)
+        assert isinstance(right.right, IntervalLiteral)
+        assert right.right.seconds == 14 * SECONDS_PER_DAY
+
+    def test_date_plus_weeks_in_qualifier(self):
+        q = parse_query(
+            'SELECT R FROM doc("g")[26/01/2001 + 2 WEEKS]/r R'
+        )
+        spec = q.from_items[0].time_spec
+        assert isinstance(spec, BinOp) and spec.op == "+"
+
+    def test_aggregates_detected(self):
+        q = parse_query('SELECT SUM(R), COUNT(R) FROM doc("g")/r R')
+        assert all(is_aggregate_expr(e) for e in q.select_items)
+        assert not is_aggregate_expr(Literal(1))
+
+    def test_string_and_number_literals(self):
+        q = parse_query(
+            "SELECT R FROM doc(\"g\")/r R WHERE R/n = 'text' AND R/p = 3.5"
+        )
+        conj = q.where
+        assert conj.left.right.value == "text"
+        assert conj.right.right.value == 3.5
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "FROM doc(\"g\") R",
+            "SELECT FROM doc(\"g\") R",
+            "SELECT R",
+            "SELECT R FROM doc(g) R",
+            "SELECT R FROM doc(\"g\")[/r R",
+            "SELECT R FROM doc(\"g\")/ R",
+            "SELECT R FROM doc(\"g\") R trailing",
+            "SELECT R FROM doc(\"g\") R WHERE",
+            "SELECT R FROM doc(\"g\") R WHERE R =",
+            "SELECT X FROM doc(\"g\") R",  # unbound variable
+            "SELECT R FROM doc(\"g\") R, doc(\"h\") R",  # duplicate var
+            "SELECT TIME( FROM doc(\"g\") R",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)

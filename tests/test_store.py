@@ -1,0 +1,244 @@
+"""Tests for the store facade and the repository beneath it."""
+
+import pytest
+
+from repro.clock import parse_date
+from repro.errors import (
+    DocumentDeletedError,
+    NoSuchDocumentError,
+    NoSuchVersionError,
+    StorageError,
+)
+from repro.model.identifiers import TEID
+from repro.storage import TemporalDocumentStore
+from repro.workload import load_figure1
+from repro.xmlcore import Path, parse
+
+from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+
+
+@pytest.fixture
+def store():
+    store = TemporalDocumentStore()
+    load_figure1(store)
+    return store
+
+
+class TestCommitPaths:
+    def test_put_assigns_doc_ids(self):
+        store = TemporalDocumentStore()
+        first = store.put("a.xml", "<a/>")
+        second = store.put("b.xml", "<b/>")
+        assert first != second
+        assert store.name_of(first) == "a.xml"
+
+    def test_put_rejects_duplicate_name(self, store):
+        with pytest.raises(StorageError):
+            store.put("guide.com", "<guide/>")
+
+    def test_put_after_delete_creates_new_document(self):
+        store = TemporalDocumentStore()
+        old_id = store.put("d.xml", "<a/>")
+        store.delete("d.xml")
+        new_id = store.put("d.xml", "<a/>")
+        assert new_id != old_id  # fresh identity, as the paper requires
+
+    def test_update_requires_existing(self):
+        store = TemporalDocumentStore()
+        with pytest.raises(NoSuchDocumentError):
+            store.update("ghost.xml", "<a/>")
+
+    def test_update_rejects_stamped_trees(self, store):
+        stamped = store.current("guide.com")
+        with pytest.raises(StorageError):
+            store.update("guide.com", stamped)
+
+    def test_update_of_deleted_fails(self, store):
+        store.delete("guide.com")
+        with pytest.raises(DocumentDeletedError):
+            store.update("guide.com", "<guide/>")
+
+    def test_explicit_timestamps_must_advance(self, store):
+        with pytest.raises(Exception):
+            store.update("guide.com", "<guide/>", ts=JAN_01)
+
+    def test_version_numbers_increase(self, store):
+        number = store.update("guide.com", "<guide><r>x</r></guide>")
+        assert number == 4
+
+
+class TestReads:
+    def test_current(self, store):
+        tree = store.current("guide.com")
+        prices = Path("restaurant/price").select(tree)
+        assert [p.text for p in prices] == ["18"]
+
+    def test_current_returns_private_copy(self, store):
+        tree = store.current("guide.com")
+        tree.find("restaurant").find("price").text = "999"
+        assert store.current("guide.com").find("restaurant").find(
+            "price"
+        ).text == "18"
+
+    def test_snapshot_figure1(self, store):
+        jan26 = store.snapshot("guide.com", JAN_26)
+        names = [n.text for n in Path("restaurant/name").select(jan26)]
+        assert names == ["Napoli", "Akropolis"]
+
+    def test_snapshot_before_creation(self, store):
+        assert store.snapshot("guide.com", JAN_01 - 5) is None
+
+    def test_snapshot_of_deleted_document(self, store):
+        delete_ts = parse_date("05/02/2001")
+        store.delete("guide.com", ts=delete_ts)
+        assert store.snapshot("guide.com", delete_ts) is None
+        assert store.snapshot("guide.com", JAN_26) is not None
+
+    def test_version_by_number(self, store):
+        v1 = store.version("guide.com", 1)
+        assert len(Path("restaurant").select(v1)) == 1
+        with pytest.raises(NoSuchVersionError):
+            store.version("guide.com", 9)
+
+    def test_current_of_deleted_raises(self, store):
+        store.delete("guide.com")
+        with pytest.raises(DocumentDeletedError):
+            store.current("guide.com")
+
+    def test_reconstruction_roundtrip_all_versions(self, store):
+        # Every reconstructed version matches an independent parse.
+        expected = {
+            1: ["15"],
+            2: ["15", "13"],
+            3: ["18"],
+        }
+        for number, prices in expected.items():
+            tree = store.version("guide.com", number)
+            assert [
+                p.text for p in Path("restaurant/price").select(tree)
+            ] == prices
+
+
+class TestIdentityAcrossVersions:
+    def test_napoli_keeps_xid(self, store):
+        v1 = store.version("guide.com", 1)
+        v3 = store.version("guide.com", 3)
+        napoli_v1 = Path("restaurant").first(v1)
+        napoli_v3 = Path("restaurant").first(v3)
+        assert napoli_v1.xid == napoli_v3.xid
+
+    def test_subtree_resolution(self, store):
+        v2 = store.version("guide.com", 2)
+        akropolis = Path("restaurant").select(v2)[1]
+        teid = TEID(store.doc_id("guide.com"), akropolis.xid, JAN_26)
+        subtree = store.subtree(teid)
+        assert subtree.find("name").text == "Akropolis"
+
+    def test_subtree_absent_when_element_gone(self, store):
+        v2 = store.version("guide.com", 2)
+        akropolis = Path("restaurant").select(v2)[1]
+        teid = TEID(store.doc_id("guide.com"), akropolis.xid, JAN_31)
+        assert store.subtree(teid) is None
+
+    def test_normalize_teid(self, store):
+        doc_id = store.doc_id("guide.com")
+        raw = TEID(doc_id, 1, JAN_26)
+        assert store.normalize_teid(raw).timestamp == JAN_15
+        assert store.normalize_teid(TEID(doc_id, 1, JAN_01 - 5)) is None
+
+    def test_current_teid(self, store):
+        doc_id = store.doc_id("guide.com")
+        root_teid = store.current_teid("guide.com", 1)
+        assert root_teid == TEID(doc_id, 1, JAN_31)
+        assert store.current_teid("guide.com", 9999) is None
+
+
+class TestSnapshotsAndReconstructionCost:
+    def test_snapshot_interval_materializes(self):
+        store = TemporalDocumentStore(snapshot_interval=2)
+        store.put("d.xml", "<a><b>0</b></a>")
+        for value in range(1, 6):
+            store.update("d.xml", f"<a><b>{value}</b></a>")
+        dindex = store.delta_index("d.xml")
+        snapshot_numbers = [
+            e.number for e in dindex.entries if e.has_snapshot
+        ]
+        assert snapshot_numbers == [2, 4, 6]
+
+    def test_snapshots_reduce_delta_reads(self):
+        def build(snapshot_interval):
+            store = TemporalDocumentStore(
+                snapshot_interval=snapshot_interval
+            )
+            store.put("d.xml", "<a><b>0</b></a>")
+            for value in range(1, 10):
+                store.update("d.xml", f"<a><b>{value}</b></a>")
+            store.repository.delta_reads = 0
+            store.version("d.xml", 1)
+            return store.repository.delta_reads
+
+        without = build(None)
+        with_snapshots = build(3)
+        assert without == 9
+        assert with_snapshots < without
+
+    def test_reconstruction_from_snapshot_correct(self):
+        store = TemporalDocumentStore(snapshot_interval=2)
+        sources = [f"<a><b>{v}</b></a>" for v in range(6)]
+        store.put("d.xml", sources[0])
+        for source in sources[1:]:
+            store.update("d.xml", source)
+        for number, source in enumerate(sources, start=1):
+            assert store.version("d.xml", number).equals_deep(parse(source))
+
+
+class TestObservers:
+    def test_events_fired_in_order(self):
+        events = []
+
+        class Recorder:
+            def document_committed(self, event):
+                events.append((event.kind, event.version_number))
+
+        store = TemporalDocumentStore()
+        store.subscribe(Recorder())
+        store.put("d.xml", "<a/>")
+        store.update("d.xml", "<a><b/></a>")
+        store.delete("d.xml")
+        assert events == [("create", 1), ("update", 2), ("delete", 2)]
+
+    def test_update_event_carries_script_and_roots(self):
+        captured = {}
+
+        class Recorder:
+            def document_committed(self, event):
+                if event.kind == "update":
+                    captured.update(
+                        script=event.script,
+                        old=event.old_root,
+                        new=event.root,
+                    )
+
+        store = TemporalDocumentStore()
+        store.subscribe(Recorder())
+        store.put("d.xml", "<a><b>1</b></a>")
+        store.update("d.xml", "<a><b>2</b></a>")
+        assert not captured["script"].is_empty
+        assert captured["old"].find("b").text == "1"
+        assert captured["new"].find("b").text == "2"
+
+
+class TestSpaceAccounting:
+    def test_storage_bytes_categories(self, store):
+        stats = store.repository.storage_bytes()
+        assert stats["current"] > 0
+        assert stats["deltas"] > 0
+        assert stats["total"] == (
+            stats["current"] + stats["deltas"] + stats["snapshots"]
+        )
+
+    def test_documents_listing(self, store):
+        assert store.documents() == ["guide.com"]
+        store.delete("guide.com")
+        assert store.documents() == []
+        assert store.documents(include_deleted=True) == ["guide.com"]

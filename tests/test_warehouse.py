@@ -1,0 +1,145 @@
+"""Tests for the simulated web, crawler, and document-time extraction."""
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY, parse_date
+from repro.storage import TemporalDocumentStore
+from repro.warehouse import (
+    Crawler,
+    DocumentTimeIndex,
+    SimulatedWeb,
+    extract_document_time,
+)
+from repro.warehouse.crawler import round_robin_schedule
+from repro.xmlcore import parse
+
+T0 = parse_date("01/01/2001")
+DAY = SECONDS_PER_DAY
+
+
+@pytest.fixture
+def web():
+    web = SimulatedWeb()
+    web.publish("a.com", T0, "<page><v>1</v></page>")
+    web.publish("a.com", T0 + 2 * DAY, "<page><v>2</v></page>")
+    web.publish("a.com", T0 + 4 * DAY, "<page><v>3</v></page>")
+    web.publish("b.com", T0 + 1 * DAY, "<page><v>b</v></page>")
+    web.publish("b.com", T0 + 3 * DAY, None)  # page disappears
+    return web
+
+
+class TestSimulatedWeb:
+    def test_fetch_latest_state(self, web):
+        assert "1" in web.fetch("a.com", T0)
+        assert "2" in web.fetch("a.com", T0 + 3 * DAY)
+        assert web.fetch("a.com", T0 - 1) is None
+
+    def test_fetch_after_removal(self, web):
+        assert web.fetch("b.com", T0 + 3 * DAY) is None
+
+    def test_publish_order_enforced(self, web):
+        with pytest.raises(ValueError):
+            web.publish("a.com", T0, "<old/>")
+
+    def test_states_in(self, web):
+        states = web.states_in("a.com", T0, T0 + 3 * DAY)
+        assert len(states) == 2
+
+
+class TestCrawler:
+    def test_crawl_outcomes(self, web):
+        store = TemporalDocumentStore()
+        crawler = Crawler(web, store)
+        assert crawler.crawl("a.com", T0) == "created"
+        assert crawler.crawl("a.com", T0 + DAY) == "unchanged"
+        assert crawler.crawl("a.com", T0 + 2 * DAY) == "updated"
+        assert crawler.crawl("b.com", T0 - 1) == "absent"
+
+    def test_deletion_observed(self, web):
+        store = TemporalDocumentStore()
+        crawler = Crawler(web, store)
+        crawler.crawl("b.com", T0 + DAY)
+        assert crawler.crawl("b.com", T0 + 3 * DAY) == "deleted"
+        assert store.delta_index("b.com").is_deleted
+
+    def test_transaction_time_is_crawl_time(self, web):
+        """The paper's warehouse caveat: stored time = retrieval time."""
+        store = TemporalDocumentStore()
+        crawler = Crawler(web, store)
+        crawl_ts = T0 + DAY  # content was published at T0
+        crawler.crawl("a.com", crawl_ts)
+        assert store.delta_index("a.com").entry(1).timestamp == crawl_ts
+
+    def test_missed_versions_reported(self, web):
+        store = TemporalDocumentStore()
+        crawler = Crawler(web, store)
+        # Crawl a.com only twice, 4 days apart: v2 is never seen.
+        report = crawler.run([(T0, "a.com"), (T0 + 4 * DAY, "a.com")])
+        assert report.stored_versions == 2
+        assert report.missed_states >= 1
+        assert 0 < report.capture_ratio() < 1
+
+    def test_round_robin_schedule(self):
+        schedule = round_robin_schedule(["a", "b"], 0, 100, 25)
+        assert schedule == [(0, "a"), (25, "b"), (50, "a"), (75, "b")]
+
+    def test_dense_crawl_captures_everything(self, web):
+        store = TemporalDocumentStore()
+        crawler = Crawler(web, store)
+        schedule = [(T0 + i * DAY // 2, "a.com") for i in range(12)]
+        report = crawler.run(schedule)
+        assert report.per_url["a.com"]["captured"] == 3
+        assert report.missed_states == 0 or report.per_url["a.com"][
+            "published"
+        ] == report.per_url["a.com"]["captured"]
+
+
+class TestDocumentTime:
+    def test_extract_from_element(self):
+        tree = parse("<news><pubdate>26/01/2001</pubdate><body>x</body></news>")
+        assert extract_document_time(tree) == parse_date("26/01/2001")
+
+    def test_extract_from_attribute(self):
+        tree = parse('<news date="15/01/2001"><body>x</body></news>')
+        assert extract_document_time(tree) == parse_date("15/01/2001")
+
+    def test_missing_or_malformed(self):
+        assert extract_document_time(parse("<a><b>x</b></a>")) is None
+        assert extract_document_time(parse("<a><date>soon</date></a>")) is None
+
+    def test_index_observer(self):
+        store = TemporalDocumentStore()
+        index = store.subscribe(DocumentTimeIndex())
+        store.put(
+            "news1.xml",
+            "<news><pubdate>10/01/2001</pubdate></news>",
+            ts=parse_date("12/01/2001"),
+        )
+        store.put(
+            "news2.xml",
+            "<news><pubdate>20/01/2001</pubdate></news>",
+            ts=parse_date("22/01/2001"),
+        )
+        store.put("plain.xml", "<a/>", ts=parse_date("23/01/2001"))
+        hits = index.versions_with_doctime_in(
+            parse_date("05/01/2001"), parse_date("15/01/2001")
+        )
+        assert len(hits) == 1
+        doc_id, version_ts, doc_time = hits[0]
+        assert doc_time == parse_date("10/01/2001")
+        assert version_ts == parse_date("12/01/2001")
+        assert index.coverage() == pytest.approx(2 / 3)
+
+    def test_document_time_vs_transaction_time(self):
+        """Document time (posted) and transaction time (crawled) diverge."""
+        store = TemporalDocumentStore()
+        index = store.subscribe(DocumentTimeIndex())
+        posted = parse_date("01/01/2001")
+        crawled = parse_date("09/01/2001")
+        store.put(
+            "late.xml", "<news><pubdate>01/01/2001</pubdate></news>", ts=crawled
+        )
+        doc_id = store.doc_id("late.xml")
+        assert index.document_time(doc_id, crawled) == posted
+        # Snapshot by transaction time at the posting date: nothing stored yet.
+        assert store.snapshot("late.xml", posted) is None

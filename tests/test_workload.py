@@ -1,0 +1,133 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.storage import TemporalDocumentStore
+from repro.workload import (
+    FIGURE1_DATES,
+    RestaurantGuideGenerator,
+    TDocGenerator,
+    Vocabulary,
+    build_collection,
+    figure1_versions,
+)
+from repro.xmlcore import Path, parse
+
+
+class TestVocabulary:
+    def test_deterministic(self):
+        first = Vocabulary(size=50, seed=3)
+        second = Vocabulary(size=50, seed=3)
+        assert [first.sample() for _ in range(20)] == [
+            second.sample() for _ in range(20)
+        ]
+
+    def test_zipf_skew(self):
+        vocab = Vocabulary(size=100, seed=1)
+        samples = [vocab.sample() for _ in range(3000)]
+        top = samples.count(vocab.common(1)[0])
+        bottom = samples.count(vocab.rare(1)[0])
+        assert top > bottom * 3
+
+    def test_sample_text_bounds(self):
+        vocab = Vocabulary(seed=2)
+        words = vocab.sample_text(2, 4).split()
+        assert 2 <= len(words) <= 4
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Vocabulary(size=0)
+
+
+class TestFigure1:
+    def test_three_versions_on_paper_dates(self):
+        versions = figure1_versions()
+        assert [ts for ts, _src in versions] == list(FIGURE1_DATES)
+
+    def test_exact_contents(self):
+        versions = figure1_versions()
+        trees = [parse(src) for _ts, src in versions]
+        assert [
+            [n.text for n in Path("restaurant/name").select(t)]
+            for t in trees
+        ] == [["Napoli"], ["Napoli", "Akropolis"], ["Napoli"]]
+        assert [
+            [p.text for p in Path("restaurant/price").select(t)]
+            for t in trees
+        ] == [["15"], ["15", "13"], ["18"]]
+
+
+class TestRestaurantGenerator:
+    def test_deterministic(self):
+        one = RestaurantGuideGenerator(n_restaurants=5, seed=9)
+        two = RestaurantGuideGenerator(n_restaurants=5, seed=9)
+        from repro.xmlcore import serialize
+
+        versions_one = one.versions(5)
+        versions_two = two.versions(5)
+        assert [serialize(t) for _ts, t in versions_one] == [
+            serialize(t) for _ts, t in versions_two
+        ]
+
+    def test_ground_truth_tracks_prices(self):
+        generator = RestaurantGuideGenerator(
+            n_restaurants=6, seed=4, p_price_change=1.0, p_close=0,
+            p_open=0, p_rename=0, p_reintroduce=0,
+        )
+        generator.versions(3)
+        increased = generator.truth.price_increased(0, 2)
+        states = generator.truth.states
+        for identity in increased:
+            by_version = {v: p for v, _n, p in states[identity]}
+            assert by_version[2] > by_version[0]
+
+    def test_reintroduction_tracked(self):
+        generator = RestaurantGuideGenerator(
+            n_restaurants=8, seed=11, p_reintroduce=0.5
+        )
+        generator.versions(6)
+        assert generator.truth.reintroduced
+
+    def test_load_into_store(self):
+        store = TemporalDocumentStore()
+        generator = RestaurantGuideGenerator(n_restaurants=4, seed=2)
+        generator.load_into(store, count=4)
+        assert len(store.delta_index("guide.com").entries) == 4
+
+
+class TestTDocGenerator:
+    def test_document_shape(self):
+        generator = TDocGenerator(seed=5, depth=3)
+        tree = generator.document("d1")
+        assert tree.tag == "doc"
+        assert tree.subtree_size() > 3
+
+    def test_evolution_changes_content(self):
+        from repro.xmlcore import serialize
+
+        generator = TDocGenerator(seed=5, p_update=0.9)
+        first = generator.document("d1")
+        second = generator.evolve("d1")
+        assert serialize(first) != serialize(second)
+
+    def test_version_sequence_length(self):
+        generator = TDocGenerator(seed=1)
+        assert len(generator.version_sequence("d", 6)) == 6
+
+    def test_documents_never_empty(self):
+        generator = TDocGenerator(seed=3, p_delete=0.9, p_update=0, p_insert=0)
+        generator.document("d")
+        for _ in range(10):
+            tree = generator.evolve("d")
+            assert tree.children
+
+    def test_build_collection(self):
+        store = TemporalDocumentStore()
+        names = build_collection(store, n_docs=3, versions_per_doc=4)
+        assert len(names) == 3
+        for name in names:
+            dindex = store.delta_index(name)
+            assert len(dindex.entries) == 4
+            # All versions reconstructible.
+            for number in range(1, 5):
+                assert store.version(name, number) is not None

@@ -1,0 +1,139 @@
+"""Tests for the tree model."""
+
+import pytest
+
+from repro.errors import TemporalXMLError
+from repro.xmlcore import Element, Text, element
+
+
+class TestConstruction:
+    def test_element_builder(self):
+        tree = element(
+            "restaurant", element("name", "Napoli"), element("price", "15")
+        )
+        assert tree.tag == "restaurant"
+        assert [c.tag for c in tree.child_elements()] == ["name", "price"]
+        assert tree.find("name").text == "Napoli"
+
+    def test_invalid_tag(self):
+        with pytest.raises(TemporalXMLError):
+            Element("")
+        with pytest.raises(TemporalXMLError):
+            Element(None)
+
+    def test_append_string_becomes_text(self):
+        node = Element("p")
+        node.append("hello")
+        assert isinstance(node.children[0], Text)
+        assert node.text == "hello"
+
+    def test_insert_detaches_from_previous_parent(self):
+        a = element("a", element("x"))
+        b = Element("b")
+        x = a.children[0]
+        b.append(x)
+        assert x.parent is b
+        assert not a.children
+
+    def test_cannot_insert_under_self(self):
+        a = element("a", element("b"))
+        b = a.children[0]
+        with pytest.raises(TemporalXMLError):
+            b.append(a)
+        with pytest.raises(TemporalXMLError):
+            a.append(a)
+
+    def test_remove_non_child_raises(self):
+        a = Element("a")
+        with pytest.raises(TemporalXMLError):
+            a.remove(Element("b"))
+
+
+class TestNavigation:
+    def test_root_ancestors_depth(self):
+        tree = element("a", element("b", element("c")))
+        c = tree.children[0].children[0]
+        assert c.root() is tree
+        assert [n.tag for n in c.ancestors()] == ["b", "a"]
+        assert c.depth() == 2
+        assert tree.depth() == 0
+
+    def test_iter_preorder(self):
+        tree = element("a", element("b", "t1"), element("c"))
+        tags = [n.tag for n in tree.iter_elements()]
+        assert tags == ["a", "b", "c"]
+
+    def test_find_and_findall(self):
+        tree = element("g", element("r"), element("r"), element("s"))
+        assert tree.find("r") is tree.children[0]
+        assert len(tree.findall("r")) == 2
+        assert tree.find("missing") is None
+
+    def test_index_in_parent(self):
+        tree = element("a", element("b"), "text", element("c"))
+        assert tree.children[2].index_in_parent() == 2
+        with pytest.raises(TemporalXMLError):
+            tree.index_in_parent()
+
+    def test_subtree_size(self):
+        tree = element("a", element("b", "t"), element("c"))
+        assert tree.subtree_size() == 4
+
+
+class TestContent:
+    def test_text_property(self):
+        node = element("p", "hello")
+        assert node.text == "hello"
+        node.text = "bye"
+        assert node.text == "bye"
+        node.text = None
+        assert node.text == ""
+
+    def test_text_content_recursive(self):
+        tree = element("a", element("b", "x"), "y", element("c", "z"))
+        assert tree.text_content() == "xyz" or tree.text_content() == "yxz"
+        # Document order: b's text, then direct text, then c's text.
+        assert tree.text_content() == "xyz"
+
+    def test_attributes(self):
+        node = Element("a", {"k": "v"})
+        assert node.get("k") == "v"
+        assert node.get("missing", "d") == "d"
+        node.set("n", 5)
+        assert node.attrib["n"] == "5"
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep_and_detached(self):
+        tree = element("a", element("b", "t"))
+        tree.xid = 1
+        tree.children[0].xid = 2
+        dup = tree.copy()
+        assert dup.equals_deep(tree)
+        assert dup.xid == 1 and dup.children[0].xid == 2
+        assert dup.parent is None
+        dup.children[0].text = "changed"
+        assert tree.children[0].text == "t"
+
+    def test_shallow_equality(self):
+        a = element("r", element("x", "1"))
+        a.text = "hi"
+        b = element("r", element("y", "2"))
+        b.text = "hi"
+        assert a.equals_shallow(b)
+        assert not a.equals_deep(b)
+
+    def test_deep_equality_order_sensitive(self):
+        a = element("g", element("x"), element("y"))
+        b = element("g", element("y"), element("x"))
+        assert not a.equals_deep(b)
+
+    def test_deep_equality_attributes(self):
+        a = Element("r", {"k": "1"})
+        b = Element("r", {"k": "2"})
+        assert not a.equals_deep(b)
+
+    def test_text_equality(self):
+        assert Text("a").equals_deep(Text("a"))
+        assert not Text("a").equals_deep(Text("b"))
+        assert not Text("a").equals_deep(Element("a"))

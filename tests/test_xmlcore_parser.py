@@ -1,0 +1,176 @@
+"""Tests for the hand-written XML parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xmlcore import parse, parse_fragment, serialize
+from repro.xmlcore.node import Element, Text
+
+
+class TestBasics:
+    def test_simple_document(self):
+        root = parse("<a><b>hi</b></a>")
+        assert root.tag == "a"
+        assert root.find("b").text == "hi"
+
+    def test_self_closing(self):
+        root = parse("<a><b/><c /></a>")
+        assert [c.tag for c in root.child_elements()] == ["b", "c"]
+        assert all(not c.children for c in root.child_elements())
+
+    def test_attributes_both_quotes(self):
+        root = parse("""<a x="1" y='two'/>""")
+        assert root.attrib == {"x": "1", "y": "two"}
+
+    def test_mixed_content(self):
+        root = parse("<p>one<b>two</b>three</p>")
+        kinds = [type(c).__name__ for c in root.children]
+        assert kinds == ["Text", "Element", "Text"]
+        assert root.text_content() == "onetwothree"
+
+    def test_whitespace_only_text_dropped(self):
+        root = parse("<a>\n  <b/>\n</a>")
+        assert len(root.children) == 1
+
+    def test_prolog_comments_pis_doctype(self):
+        root = parse(
+            """<?xml version="1.0"?>
+            <!DOCTYPE guide SYSTEM "guide.dtd">
+            <!-- a comment -->
+            <?pi data?>
+            <guide><!-- inner --><r/></guide>
+            <!-- trailing -->"""
+        )
+        assert root.tag == "guide"
+        assert len(root.child_elements()) == 1
+
+    def test_cdata(self):
+        root = parse("<a><![CDATA[<not-a-tag> & raw]]></a>")
+        assert root.text == "<not-a-tag> & raw"
+
+
+class TestEntities:
+    def test_predefined(self):
+        root = parse("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert root.text == "<>&'\""
+
+    def test_numeric(self):
+        root = parse("<a>&#65;&#x42;</a>")
+        assert root.text == "AB"
+
+    def test_in_attributes(self):
+        root = parse('<a x="a&amp;b"/>')
+        assert root.attrib["x"] == "a&b"
+
+    def test_unknown_entity(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&nope;</a>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a>text</a><b/>",
+            "<a><!-- -- --></a>",
+            "<a attr='<'/>",
+            "<1tag/>",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            parse(bad)
+
+    def test_error_carries_location(self):
+        try:
+            parse("<a>\n<b></c></a>")
+        except XMLSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected XMLSyntaxError")
+
+
+class TestFragment:
+    def test_forest(self):
+        roots = parse_fragment("<a/><b>x</b><c/>")
+        assert [r.tag for r in roots] == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert parse_fragment("") == []
+        assert parse_fragment("   ") == []
+
+
+# -- round-trip property -------------------------------------------------------
+
+_tags = st.sampled_from(["a", "b", "c", "item", "name"])
+_texts = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        categories=("Lu", "Ll", "Nd"),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _trees(depth):
+    if depth == 0:
+        return st.builds(lambda t: t, _tags).map(Element)
+    return st.builds(
+        _build_element,
+        _tags,
+        st.dictionaries(_tags, _texts, max_size=2),
+        st.lists(
+            st.one_of(_trees(depth - 1), _texts.map(Text)), max_size=3
+        ),
+    )
+
+
+def _build_element(tag, attrib, children):
+    node = Element(tag, attrib)
+    for child in children:
+        node.append(child.copy() if child.parent is not None else child)
+    return node
+
+
+class TestRoundTrip:
+    @given(_trees(3))
+    def test_parse_serialize_roundtrip(self, tree):
+        again = parse(serialize(tree))
+        # Serialization merges adjacent text nodes; normalize both sides.
+        assert _normalize(again).equals_deep(_normalize(tree))
+
+    @given(_trees(2))
+    def test_pretty_roundtrip(self, tree):
+        again = parse(serialize(tree, indent=2))
+        # Pretty-printing only inserts ignorable whitespace.
+        assert _normalize(again).equals_deep(_normalize(tree))
+
+
+def _normalize(tree):
+    """Drop ignorable whitespace and merge adjacent text nodes."""
+    dup = tree.copy()
+    for node in list(dup.iter()):
+        if not isinstance(node, Element):
+            continue
+        merged = []
+        for child in node.children:
+            if isinstance(child, Text):
+                if not child.value.strip():
+                    continue
+                if merged and isinstance(merged[-1], Text):
+                    merged[-1] = Text(merged[-1].value + child.value)
+                    continue
+            merged.append(child)
+        node.children = merged
+        for child in merged:
+            child.parent = node
+    return dup

@@ -1,0 +1,68 @@
+"""Tests for serialization."""
+
+import pytest
+
+from repro.errors import TemporalXMLError
+from repro.xmlcore import element, parse, serialize
+from repro.xmlcore.node import Element, Text
+from repro.xmlcore.serializer import escape_attribute, escape_text
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes(self):
+        assert escape_attribute('say "hi" & <go>') == (
+            "say &quot;hi&quot; &amp; &lt;go>"
+        )
+
+    def test_escaped_roundtrip(self):
+        tree = element("a", "x < y & z")
+        tree.set("attr", 'quo"te')
+        again = parse(serialize(tree))
+        assert again.text == "x < y & z"
+        assert again.attrib["attr"] == 'quo"te'
+
+
+class TestShapes:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_attributes(self):
+        assert serialize(Element("a", {"x": "1"})) == '<a x="1"/>'
+
+    def test_nested_compact(self):
+        tree = element("a", element("b", "t"))
+        assert serialize(tree) == "<a><b>t</b></a>"
+
+    def test_text_node_alone(self):
+        assert serialize(Text("hi & bye")) == "hi &amp; bye"
+
+    def test_rejects_non_node(self):
+        with pytest.raises(TemporalXMLError):
+            serialize("not a node")
+
+
+class TestPretty:
+    def test_indents_element_content(self):
+        tree = element("a", element("b"), element("c"))
+        text = serialize(tree, indent=2)
+        assert text == "<a>\n  <b/>\n  <c/>\n</a>"
+
+    def test_does_not_indent_mixed_content(self):
+        tree = parse("<p>one<b>two</b>three</p>")
+        assert serialize(tree, indent=2) == "<p>one<b>two</b>three</p>"
+
+    def test_pretty_parses_back(self):
+        tree = element("g", element("r", element("n", "Napoli")))
+        again = parse(serialize(tree, indent=4))
+        assert again.find("r").find("n").text == "Napoli"
+
+
+class TestXidDump:
+    def test_xids_emitted_when_requested(self):
+        tree = element("a")
+        tree.xid = 42
+        assert serialize(tree, xids=True) == '<a _xid="42"/>'
+        assert serialize(tree) == "<a/>"
