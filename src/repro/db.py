@@ -36,15 +36,19 @@ class TemporalXMLDatabase:
         snapshot_interval=None,
         clustered=True,
         options=None,
+        cache_size=0,
     ):
         """``snapshot_interval`` materializes a full snapshot every k-th
         version of each document; ``clustered`` controls simulated disk
         placement of deltas (Section 7.2's clustering discussion);
-        ``options`` are :class:`~repro.query.executor.QueryOptions`."""
+        ``options`` are :class:`~repro.query.executor.QueryOptions`;
+        ``cache_size`` enables the reconstruction version cache (see
+        ``docs/PERFORMANCE.md``; 0 keeps the paper's uncached behaviour)."""
         self.store = TemporalDocumentStore(
             clock=clock if clock is not None else LogicalClock(),
             snapshot_interval=snapshot_interval,
             clustered=clustered,
+            cache_size=cache_size,
         )
         self.fti = self.store.subscribe(TemporalFullTextIndex())
         self.lifetime = self.store.subscribe(LifetimeIndex())
@@ -84,7 +88,7 @@ class TemporalXMLDatabase:
 
     @classmethod
     def load(cls, path, snapshot_interval=None, clustered=True,
-             options=None):
+             options=None, cache_size=0):
         """Restore a database from :meth:`save`'s archive.
 
         Indexes (FTI, lifetime) are rebuilt by replaying the stored commit
@@ -96,7 +100,8 @@ class TemporalXMLDatabase:
 
         db = cls.__new__(cls)
         db.store = load_store(
-            path, snapshot_interval=snapshot_interval, clustered=clustered
+            path, snapshot_interval=snapshot_interval, clustered=clustered,
+            cache_size=cache_size,
         )
         db.fti = TemporalFullTextIndex()
         db.lifetime = LifetimeIndex()

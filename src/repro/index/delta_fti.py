@@ -165,15 +165,17 @@ class DeltaOperationIndex:
     def events_for_word(self, word, op=None):
         """All change events mentioning ``word`` (optionally one op kind)."""
         candidates = self._by_word.get(word, [])
-        self.stats.scanned(len(candidates))
         if op is None:
-            return list(candidates)
-        return [e for e in candidates if e.op == op]
+            result = list(candidates)
+        else:
+            result = [e for e in candidates if e.op == op]
+        self.stats.scanned(len(candidates), returned=len(result))
+        return result
 
     def events_for_op(self, op):
         """All events of one operation kind — e.g. every deletion ever."""
         candidates = self._by_op.get(op, [])
-        self.stats.scanned(len(candidates))
+        self.stats.scanned(len(candidates), returned=len(candidates))
         return list(candidates)
 
     def deletion_time(self, word, doc_id=None):
@@ -196,7 +198,6 @@ class DeltaOperationIndex:
         access patterns.  Returns ``(doc_id, xid)`` pairs.
         """
         events = self._by_word.get(word, [])
-        self.stats.scanned(len(events))
         alive = {}
         for event in sorted(events, key=lambda e: e.ts):
             if event.ts > ts:
@@ -206,7 +207,9 @@ class DeltaOperationIndex:
                 alive[slot] = alive.get(slot, 0) + 1
             elif event.op == OP_DELETE:
                 alive[slot] = alive.get(slot, 0) - 1
-        return [slot for slot, count in alive.items() if count > 0]
+        result = [slot for slot, count in alive.items() if count > 0]
+        self.stats.scanned(len(events), returned=len(result))
+        return result
 
     # -- introspection ----------------------------------------------------------------
 

@@ -18,22 +18,42 @@ it) and it implements the paper's three required operations exactly:
 ``lookup_h(word)``
     every posting, whole history.
 
+Physically each per-word posting list is kept **sorted by interval start**
+(commit timestamps are monotone, so maintenance is an append in the common
+case), and the open postings are additionally threaded on a side list:
+
+* ``lookup`` reads the side list only — it never touches closed history, so
+  its cost tracks the *current* result size, not the accumulated churn;
+* ``lookup_t`` binary-searches the start-sorted list and scans just the
+  prefix with ``start <= ts`` — postings born after the queried instant are
+  never examined.
+
+:class:`~repro.index.stats.IndexStats` records scanned vs. returned entries
+per query, which is how the benchmarks expose the difference.
+
 The index is a store observer; reconciliation happens on every commit by
 comparing the new version's occurrence map against the open postings.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort_right
+
 from .postings import Posting, occurrences
 from .stats import IndexStats
+
+
+def _start(posting):
+    return posting.start
 
 
 class TemporalFullTextIndex:
     """Inverted lists of interval postings over all documents."""
 
     def __init__(self):
-        self._lists = {}  # word -> list[Posting]
-        self._open = {}   # doc_id -> {(word, xid, ordinal): Posting}
+        self._lists = {}      # word -> list[Posting], sorted by start
+        self._open_lists = {}  # word -> open postings only, sorted by start
+        self._open = {}       # doc_id -> {(word, xid, ordinal): Posting}
         self.stats = IndexStats()
 
     # -- store observer ---------------------------------------------------------
@@ -54,43 +74,74 @@ class TemporalFullTextIndex:
             if found is None or found[0] != posting.ancestors:
                 # Occurrence gone, or its element moved (hierarchy info in
                 # the posting would be stale): close the interval.
-                posting.end = ts
+                self._close(key[0], posting, ts)
                 del open_map[key]
-                self.stats.closed()
 
         for key, (ancestors, path) in new_occurrences.items():
             if key in open_map:
                 continue
             word, xid, _ordinal = key
             posting = Posting(doc_id, xid, ancestors, path, start=ts)
-            self._lists.setdefault(word, []).append(posting)
+            self._insert(word, posting)
             open_map[key] = posting
             self.stats.opened(posting.estimated_bytes())
 
     def _close_all(self, doc_id, ts):
         open_map = self._open.pop(doc_id, {})
-        for posting in open_map.values():
-            posting.end = ts
-            self.stats.closed()
+        for (word, _xid, _ordinal), posting in open_map.items():
+            self._close(word, posting, ts)
+
+    def _insert(self, word, posting):
+        """File a new posting, keeping both lists sorted by start.
+
+        Commit timestamps increase monotonically, so this is an append;
+        ``insort`` only runs for out-of-order starts (e.g. replayed
+        histories).
+        """
+        lst = self._lists.setdefault(word, [])
+        if lst and posting.start < lst[-1].start:
+            insort_right(lst, posting, key=_start)
+        else:
+            lst.append(posting)
+        opens = self._open_lists.setdefault(word, [])
+        if opens and posting.start < opens[-1].start:
+            insort_right(opens, posting, key=_start)
+        else:
+            opens.append(posting)
+
+    def _close(self, word, posting, ts):
+        posting.end = ts
+        self._open_lists[word].remove(posting)
+        self.stats.closed()
 
     # -- the three FTI operations (Section 7.2) ------------------------------------
 
     def lookup(self, word):
-        """``FTI_lookup``: occurrences in currently valid document versions."""
-        candidates = self._lists.get(word, [])
-        self.stats.scanned(len(candidates))
-        return [p for p in candidates if p.is_open]
+        """``FTI_lookup``: occurrences in currently valid document versions.
+
+        Served entirely from the open-postings side list — closed history is
+        never scanned.
+        """
+        result = list(self._open_lists.get(word, ()))
+        self.stats.scanned(len(result), returned=len(result))
+        return result
 
     def lookup_t(self, word, ts):
-        """``FTI_lookup_T``: occurrences in versions valid at time ``ts``."""
+        """``FTI_lookup_T``: occurrences in versions valid at time ``ts``.
+
+        Bisects the start-sorted list: only postings with ``start <= ts``
+        are examined at all.
+        """
         candidates = self._lists.get(word, [])
-        self.stats.scanned(len(candidates))
-        return [p for p in candidates if p.valid_at(ts)]
+        prefix = bisect_right(candidates, ts, key=_start)
+        result = [p for p in candidates[:prefix] if p.end > ts]
+        self.stats.scanned(prefix, returned=len(result))
+        return result
 
     def lookup_h(self, word):
         """``FTI_lookup_H``: every posting over the whole history."""
         candidates = self._lists.get(word, [])
-        self.stats.scanned(len(candidates))
+        self.stats.scanned(len(candidates), returned=len(candidates))
         return list(candidates)
 
     # -- introspection -----------------------------------------------------------------
@@ -100,6 +151,9 @@ class TemporalFullTextIndex:
 
     def posting_count(self):
         return sum(len(lst) for lst in self._lists.values())
+
+    def open_posting_count(self):
+        return sum(len(lst) for lst in self._open_lists.values())
 
     def estimated_bytes(self):
         return sum(

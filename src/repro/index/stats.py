@@ -21,6 +21,7 @@ class IndexStats:
     update_ops: int = 0        # index mutations performed by commits
     lookups: int = 0           # query-side calls
     postings_scanned: int = 0  # entries touched while answering queries
+    postings_returned: int = 0  # entries that actually made the result
 
     def opened(self, estimated_bytes):
         self.postings += 1
@@ -37,9 +38,22 @@ class IndexStats:
         self.bytes -= estimated_bytes
         self.update_ops += 1
 
-    def scanned(self, count):
+    def scanned(self, count, returned=None):
         self.lookups += 1
         self.postings_scanned += count
+        if returned is not None:
+            self.postings_returned += returned
+
+    @property
+    def scan_efficiency(self):
+        """Returned-to-scanned ratio (1.0 = every touched entry was a hit).
+
+        Only meaningful for indexes whose lookups report ``returned``; the
+        E-series benchmarks compare this across index layouts.
+        """
+        if not self.postings_scanned:
+            return 1.0
+        return self.postings_returned / self.postings_scanned
 
     def as_dict(self):
         return {
@@ -50,11 +64,14 @@ class IndexStats:
             "update_ops": self.update_ops,
             "lookups": self.lookups,
             "postings_scanned": self.postings_scanned,
+            "postings_returned": self.postings_returned,
+            "scan_efficiency": round(self.scan_efficiency, 3),
         }
 
     def reset_query_counters(self):
         self.lookups = 0
         self.postings_scanned = 0
+        self.postings_returned = 0
 
 
 @dataclass

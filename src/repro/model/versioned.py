@@ -34,6 +34,10 @@ def stamp_new_nodes(root, allocator, timestamp):
             allocator.note_used(node.xid)
             if node.tstamp is None:
                 node.tstamp = timestamp
+    if fresh and isinstance(root, Element):
+        # XIDs changed under any cached xid->node map; the structural
+        # mutation hooks cannot see slot assignments, so drop explicitly.
+        root.drop_xid_indexes()
     return fresh
 
 

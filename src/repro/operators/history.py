@@ -12,6 +12,12 @@ first".
 and filters out the subtree rooted at the EID — "even if it was possible to
 optimize this so that only the desired subtrees are reconstructed, the
 whole deltas would have to be read anyway".
+
+Both operators share a raw iteration (:meth:`DocHistory._iter_raw`) that
+rewinds one live tree in place and maintains a single running ``xid -> node``
+map across the delta applications.  Full iteration copies whole trees (the
+public contract: results are private), ``teids()`` skips the copies
+entirely, and ElementHistory copies only the matched subtree.
 """
 
 from __future__ import annotations
@@ -36,9 +42,22 @@ class DocHistory:
         return list(self)
 
     def teids(self):
-        return [teid for teid, _tree in self]
+        """Version TEIDs only — skips the per-version ``tree.copy()`` that
+        full iteration pays, so the cost is the delta reads alone."""
+        return [self._result(entry, tree) for entry, tree, _x in self._iter_raw()]
 
     def __iter__(self):
+        for entry, tree, _xids in self._iter_raw():
+            # The live tree keeps being rewound; hand out copies only.
+            yield self._result(entry, tree), tree.copy()
+
+    def _iter_raw(self):
+        """Yield ``(entry, tree, xids)`` newest first.
+
+        ``tree`` is the *live* working tree, rewound in place between
+        yields, and ``xids`` its maintained ``xid -> node`` map — callers
+        must not retain or mutate either across iterations.
+        """
         record = self.record
         entries = record.dindex.versions_in(self.start, self.end)
         if not entries:
@@ -46,13 +65,14 @@ class DocHistory:
         repository = self.store.repository
         newest = entries[-1]
         tree = repository.reconstruct(record, newest.number)
-        # `tree` keeps being rewound below, so hand out copies only.
-        yield self._result(newest, tree), tree.copy()
+        xids = tree.xid_index()
+        yield newest, tree, xids
         for entry in reversed(entries[:-1]):
-            # One inverted delta takes us from version n+1 to version n.
+            # One inverted delta takes us from version n+1 to version n;
+            # apply_script keeps the running map current through it.
             script = repository.read_delta(record, entry.number)
-            tree = apply_script(tree, script.invert())
-            yield self._result(entry, tree), tree.copy()
+            tree = apply_script(tree, script.invert(), xids)
+            yield entry, tree, xids
 
     def _result(self, entry, tree):
         return TEID(self.record.doc_id, tree.xid, entry.timestamp)
@@ -63,7 +83,8 @@ class ElementHistory:
 
     Versions in which the element does not exist (before its creation or
     after its deletion) are skipped; the returned TEIDs all share the
-    input EID, as the paper specifies.
+    input EID, as the paper specifies.  Only the matched subtree is copied
+    per version, never the whole document.
     """
 
     def __init__(self, store, eid, start, end):
@@ -76,20 +97,16 @@ class ElementHistory:
         return list(self)
 
     def teids(self):
-        return [teid for teid, _subtree in self]
+        """Matching TEIDs only — no subtree copies at all."""
+        return [teid for teid, _node in self._matches(copy=False)]
 
     def __iter__(self):
-        history = DocHistory(self.store, self.eid.doc_id, self.start, self.end)
-        for teid, tree in history:
-            subtree = self._find(tree)
-            if subtree is not None:
-                yield (
-                    TEID(self.eid.doc_id, self.eid.xid, teid.timestamp),
-                    subtree,
-                )
+        return self._matches(copy=True)
 
-    def _find(self, tree):
-        for node in tree.iter():
-            if node.xid == self.eid.xid:
-                return node
-        return None
+    def _matches(self, copy):
+        history = DocHistory(self.store, self.eid.doc_id, self.start, self.end)
+        for entry, _tree, xids in history._iter_raw():
+            node = xids.get(self.eid.xid)
+            if node is not None:
+                teid = TEID(self.eid.doc_id, self.eid.xid, entry.timestamp)
+                yield teid, (node.copy() if copy else node)

@@ -33,9 +33,9 @@ class Reconstruct:
                 f"no version of document {self.teid.doc_id} at "
                 f"{self.teid.timestamp}"
             )
-        for node in tree.iter():
-            if node.xid == self.teid.xid:
-                return node
+        node = tree.find_by_xid(self.teid.xid)
+        if node is not None:
+            return node
         raise NoSuchVersionError(
             f"element {self.teid.eid} not present in the version at "
             f"{self.teid.timestamp}"

@@ -51,14 +51,15 @@ class SnapshotCache:
         return self._version(doc_id, entry.number)
 
     def subtree(self, teid):
-        """Subtree of the TEID's element, or ``None`` when absent."""
+        """Subtree of the TEID's element, or ``None`` when absent.
+
+        Cached trees are retained for the whole query, so their lazily
+        built XID index turns repeated per-binding probes into O(1) hits.
+        """
         tree = self.document_at(teid.doc_id, teid.timestamp)
         if tree is None:
             return None
-        for node in tree.iter():
-            if node.xid == teid.xid:
-                return node
-        return None
+        return tree.find_by_xid(teid.xid)
 
     def _version(self, doc_id, number):
         key = (doc_id, number)
@@ -72,15 +73,16 @@ class SnapshotCache:
             tree = repository.reconstruct(record, number)
         else:
             tree = self._trees[(doc_id, neighbour)].copy()
+            xids = tree.xid_index()  # one map maintained across the steps
             if neighbour < number:  # roll forward
                 for version in range(neighbour, number):
                     tree = apply_script(
-                        tree, repository.read_delta(record, version)
+                        tree, repository.read_delta(record, version), xids
                     )
             else:  # rewind
                 for version in range(neighbour - 1, number - 1, -1):
                     script = repository.read_delta(record, version)
-                    tree = apply_script(tree, script.invert())
+                    tree = apply_script(tree, script.invert(), xids)
         self._trees[key] = tree
         return tree
 

@@ -15,12 +15,15 @@ The logical entry point is
 :class:`~repro.storage.store.TemporalDocumentStore`.
 """
 
+from .cache import CacheStats, VersionCache
 from .page import DiskSimulator, Extent
 from .deltaindex import DeltaIndex, VersionEntry
 from .repository import Repository
 from .store import CommitEvent, TemporalDocumentStore
 
 __all__ = [
+    "CacheStats",
+    "VersionCache",
     "DiskSimulator",
     "Extent",
     "DeltaIndex",

@@ -1,0 +1,152 @@
+"""Bounded LRU cache of materialized document versions.
+
+The paper's cost analysis (Section 7.3.3, experiment E3) warns that backward
+delta application "can be very expensive"; the repository nevertheless pays
+that cost on *every* :meth:`~repro.storage.repository.Repository.reconstruct`
+because it has no memory of prior reconstructions.  :class:`VersionCache`
+adds that memory: reconstruction may start from the nearest cached version
+at-or-after the requested one instead of walking all the way back from the
+current version or a snapshot, shortening delta chains across calls.
+
+Design points:
+
+* **Keys** are ``(doc_id, version_number)``.  Committed versions are
+  immutable, so a cached tree can never go stale by content; the store still
+  invalidates a document's entries on ``update``/``delete`` as a
+  conservative aliasing guard (and to keep dead documents from pinning
+  memory).
+* **Copy-on-return**: the cache owns private copies.  ``lookup`` hands out a
+  fresh copy and ``store`` takes one, so callers may mutate results freely
+  (DocHistory rewinds the trees it gets).
+* **Accounting**: hits, misses, evictions, invalidations, and
+  ``saved_delta_reads`` — the number of delta reads the uncached algorithm
+  would have performed minus what was actually read.  The E-series
+  benchmarks that measure the paper's raw algorithms must run with the cache
+  disabled (``cache_size=0``, the default), which keeps every counter at
+  zero and the read paths byte-identical to the uncached code.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Counters the version cache maintains about itself."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0     # entries dropped by invalidate()
+    saved_delta_reads: int = 0  # uncached chain length minus actual reads
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 3),
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "saved_delta_reads": self.saved_delta_reads,
+        }
+
+
+class VersionCache:
+    """LRU-bounded ``(doc_id, version_number) -> tree`` cache.
+
+    ``size=0`` disables the cache entirely: every operation is a no-op and
+    all counters stay zero, so accounting benchmarks measure the uncached
+    algorithm unchanged.
+    """
+
+    def __init__(self, size=0):
+        if size < 0:
+            raise ValueError(f"cache size must be >= 0, got {size}")
+        self.size = size
+        self._entries = OrderedDict()  # (doc_id, number) -> private tree
+        self._by_doc = {}              # doc_id -> set of cached numbers
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self):
+        return self.size > 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def keys(self):
+        """Cached ``(doc_id, number)`` keys, least recently used first."""
+        return list(self._entries)
+
+    # -- read path ---------------------------------------------------------------
+
+    def lookup(self, doc_id, number, max_start):
+        """Best cached starting point for reconstructing ``number``.
+
+        Returns ``(start_number, tree_copy)`` where ``start_number`` is the
+        smallest cached version in ``[number, max_start]`` — i.e. at least as
+        close to the target as the repository's own best materialized state —
+        or ``(None, None)`` on a miss.  Counts one hit or miss per call.
+        """
+        if not self.enabled:
+            return None, None
+        numbers = self._by_doc.get(doc_id)
+        if numbers:
+            best = min(
+                (n for n in numbers if number <= n <= max_start),
+                default=None,
+            )
+            if best is not None:
+                self.stats.hits += 1
+                key = (doc_id, best)
+                self._entries.move_to_end(key)
+                return best, self._entries[key].copy()
+        self.stats.misses += 1
+        return None, None
+
+    # -- write path --------------------------------------------------------------
+
+    def store(self, doc_id, number, tree):
+        """Remember ``tree`` as version ``number`` (a private copy is kept)."""
+        if not self.enabled:
+            return
+        key = (doc_id, number)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = tree.copy()
+        self._by_doc.setdefault(doc_id, set()).add(number)
+        while len(self._entries) > self.size:
+            (old_doc, old_number), _tree = self._entries.popitem(last=False)
+            self._by_doc[old_doc].discard(old_number)
+            if not self._by_doc[old_doc]:
+                del self._by_doc[old_doc]
+            self.stats.evictions += 1
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate(self, doc_id):
+        """Drop every cached version of ``doc_id``; returns the count."""
+        numbers = self._by_doc.pop(doc_id, None)
+        if not numbers:
+            return 0
+        for number in numbers:
+            del self._entries[(doc_id, number)]
+        self.stats.invalidations += len(numbers)
+        return len(numbers)
+
+    def clear(self):
+        """Drop everything (counters are kept)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+        self._by_doc.clear()

@@ -82,7 +82,7 @@ def dump_store(store, path=None):
     return archive
 
 
-def load_store(source, snapshot_interval=None, clustered=True):
+def load_store(source, snapshot_interval=None, clustered=True, cache_size=0):
     """Rebuild a store from an archive (a path, XML text, or Element).
 
     Document ids, XIDs, version numbers, timestamps, and content are
@@ -99,6 +99,7 @@ def load_store(source, snapshot_interval=None, clustered=True):
         clock=LogicalClock(start=clock_now),
         snapshot_interval=snapshot_interval,
         clustered=clustered,
+        cache_size=cache_size,
     )
     repository = store.repository
     highest_doc_id = 0

@@ -22,6 +22,7 @@ from ..errors import (
 )
 from ..model.identifiers import XIDAllocator
 from ..xmlcore.serializer import serialize
+from .cache import VersionCache
 from .deltaindex import DeltaIndex, VersionEntry
 from .page import DiskSimulator
 
@@ -48,12 +49,15 @@ class DocumentRecord:
 class Repository:
     """Stores document records and implements version reconstruction."""
 
-    def __init__(self, disk=None, snapshot_interval=None):
+    def __init__(self, disk=None, snapshot_interval=None, cache_size=0):
         """``snapshot_interval=k`` materializes a full snapshot every k-th
         version (None disables intermediate snapshots, the paper's base
-        configuration)."""
+        configuration).  ``cache_size`` bounds the reconstruction
+        :class:`~repro.storage.cache.VersionCache`; 0 (the default) disables
+        it, keeping reads byte-identical to the paper's uncached algorithm."""
         self.disk = disk if disk is not None else DiskSimulator()
         self.snapshot_interval = snapshot_interval
+        self.cache = VersionCache(cache_size)
         self._records = {}
         self._next_doc_id = 1
         self.delta_reads = 0  # logical delta-read counter (paper's metric)
@@ -170,9 +174,12 @@ class Repository:
     def reconstruct(self, record, number):
         """Materialize version ``number`` of the document; returns a tree.
 
-        Backward application: start from the nearest snapshot at or after
-        ``number`` (falling back to the current version) and apply the
-        inverses of the intervening completed deltas, most recent first.
+        Backward application: start from the nearest materialized state at
+        or after ``number`` — a cached prior reconstruction, an intermediate
+        snapshot, or the current version — and apply the inverses of the
+        intervening completed deltas, most recent first.  With the version
+        cache disabled (``cache_size=0``) this is exactly the paper's
+        algorithm: nearest snapshot, else current.
         """
         current_number = record.dindex.current_number
         if not 1 <= number <= current_number:
@@ -182,10 +189,19 @@ class Repository:
             )
         snap = record.dindex.nearest_snapshot_at_or_after(number)
         if snap is not None and snap.number < current_number:
-            start_number = snap.number
+            base_start, base_is_snapshot = snap.number, True
+        else:
+            base_start, base_is_snapshot = current_number, False
+        # The cache may offer a start at least as close as the best stored
+        # state; on a tie it wins (no disk read needed).
+        cached_start, tree = self.cache.lookup(record.doc_id, number, base_start)
+        if cached_start is not None:
+            start_number = cached_start
+        elif base_is_snapshot:
+            start_number = base_start
             tree = self.read_snapshot(record, start_number)
         else:
-            start_number = current_number
+            start_number = base_start
             tree = self.read_current(record)
         # Fetch the needed chain in ascending (on-disk) order — one
         # sequential sweep over the delta arena — then apply the inverses
@@ -194,8 +210,13 @@ class Repository:
             self.read_delta(record, version)
             for version in range(number, start_number)
         ]
-        for script in reversed(chain):
-            tree = apply_script(tree, script.invert())
+        if chain:
+            xids = tree.xid_index()  # one map maintained across the chain
+            for script in reversed(chain):
+                tree = apply_script(tree, script.invert(), xids)
+        if self.cache.enabled:
+            self.cache.stats.saved_delta_reads += (base_start - number) - len(chain)
+            self.cache.store(record.doc_id, number, tree)
         return tree
 
     def reconstruct_at(self, record, ts):

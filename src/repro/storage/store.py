@@ -63,17 +63,27 @@ class TemporalDocumentStore:
         disk=None,
         snapshot_interval=None,
         clustered=True,
+        cache_size=0,
     ):
+        """``cache_size`` bounds the repository's reconstruction cache
+        (:class:`~repro.storage.cache.VersionCache`); the default 0 keeps
+        every read path identical to the paper's uncached algorithms."""
         if disk is None:
             disk = DiskSimulator(clustered=clustered)
         self.clock = clock if clock is not None else LogicalClock()
-        self.repository = Repository(disk, snapshot_interval=snapshot_interval)
+        self.repository = Repository(
+            disk, snapshot_interval=snapshot_interval, cache_size=cache_size
+        )
         self._by_name = {}
         self._observers = []
 
     @property
     def disk(self):
         return self.repository.disk
+
+    @property
+    def version_cache(self):
+        return self.repository.cache
 
     # -- observers ----------------------------------------------------------------
 
@@ -131,6 +141,10 @@ class TemporalDocumentStore:
         script.from_ts = record.dindex.current_ts()
         script.to_ts = ts
         entry = self.repository.commit_version(record, new_root, script, ts)
+        # Committed versions are immutable, so the cached history could stay;
+        # dropping the document's entries on every commit is a cheap,
+        # conservative guard against any aliasing with the new current tree.
+        self.repository.cache.invalidate(record.doc_id)
         self._notify(
             CommitEvent(
                 "update",
@@ -150,6 +164,7 @@ class TemporalDocumentStore:
         record = self._live_record(name)
         ts = self._commit_ts(ts)
         self.repository.mark_deleted(record, ts)
+        self.repository.cache.invalidate(record.doc_id)
         self._notify(
             CommitEvent(
                 "delete",
@@ -235,10 +250,7 @@ class TemporalDocumentStore:
         tree = self.snapshot(teid.doc_id, teid.timestamp)
         if tree is None:
             return None
-        for node in tree.iter():
-            if node.xid == teid.xid:
-                return node
-        return None
+        return tree.find_by_xid(teid.xid)
 
     def normalize_teid(self, teid):
         """Rewrite a TEID so its timestamp is the containing version's commit
@@ -253,9 +265,10 @@ class TemporalDocumentStore:
         record = self.record(name_or_id)
         if record.is_deleted:
             return None
-        for node in record.current_root.iter():
-            if node.xid == xid:
-                return TEID(record.doc_id, xid, record.dindex.current_ts())
+        # The current root persists between commits, so its lazily built XID
+        # index amortizes across calls (no full-tree iteration per probe).
+        if record.current_root.find_by_xid(xid) is not None:
+            return TEID(record.doc_id, xid, record.dindex.current_ts())
         return None
 
     def eid(self, name_or_id, xid):

@@ -14,7 +14,7 @@ Public surface:
 * :class:`~repro.xmlcore.path.Path` — ``a/b//c`` path expressions.
 """
 
-from .node import Element, Text, element
+from .node import Element, Text, element, xid_index_stats
 from .parser import parse, parse_fragment
 from .serializer import serialize
 from .path import Path, path_of
@@ -23,6 +23,7 @@ __all__ = [
     "Element",
     "Text",
     "element",
+    "xid_index_stats",
     "parse",
     "parse_fragment",
     "serialize",

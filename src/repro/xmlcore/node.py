@@ -22,6 +22,33 @@ from __future__ import annotations
 from ..errors import TemporalXMLError
 
 
+class XidIndexStats:
+    """Process-wide instrumentation for the lazy XID index (tests and the
+    performance docs read these to verify that repeated TEID resolutions on
+    a retained tree do not rebuild or re-scan)."""
+
+    __slots__ = ("builds", "lookups", "invalidations")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.builds = 0
+        self.lookups = 0
+        self.invalidations = 0
+
+    def as_dict(self):
+        return {
+            "builds": self.builds,
+            "lookups": self.lookups,
+            "invalidations": self.invalidations,
+        }
+
+
+#: Shared counters for every tree's XID index.
+xid_index_stats = XidIndexStats()
+
+
 class _Node:
     """Shared behaviour of element and text nodes."""
 
@@ -106,9 +133,17 @@ class Text(_Node):
 
 
 class Element(_Node):
-    """An element node: tag, attribute dict, ordered children."""
+    """An element node: tag, attribute dict, ordered children.
 
-    __slots__ = ("tag", "attrib", "children")
+    Materialized (stamped) trees additionally carry a lazily built
+    ``xid -> node`` map (:meth:`xid_index`), so repeated TEID/XID
+    resolutions against a retained tree cost O(1) instead of a full
+    pre-order scan.  The map is invalidated by any structural mutation of
+    the subtree (insert/remove/text replacement); value-only mutations
+    (attributes, text content edits in place) leave it intact.
+    """
+
+    __slots__ = ("tag", "attrib", "children", "_xidmap", "_xid_clean")
 
     def __init__(self, tag, attrib=None):
         super().__init__()
@@ -117,6 +152,11 @@ class Element(_Node):
         self.tag = tag
         self.attrib = dict(attrib) if attrib else {}
         self.children = []
+        self._xidmap = None
+        # True while some cached map at this element or an ancestor covers
+        # this subtree; lets invalidation stop walking up as soon as it
+        # reaches territory no map describes.
+        self._xid_clean = False
 
     # -- construction ------------------------------------------------------
 
@@ -135,6 +175,7 @@ class Element(_Node):
         node.detach()
         self.children.insert(index, node)
         node.parent = self
+        self._invalidate_xid_index()
         return node
 
     def remove(self, node):
@@ -143,6 +184,7 @@ class Element(_Node):
             if child is node:
                 del self.children[i]
                 node.parent = None
+                self._invalidate_xid_index()
                 return node
         raise TemporalXMLError("node is not a child of this element")
 
@@ -192,6 +234,61 @@ class Element(_Node):
         """Number of nodes in the subtree, including self."""
         return sum(1 for _ in self.iter())
 
+    # -- XID index ---------------------------------------------------------
+
+    def xid_index(self):
+        """The ``xid -> node`` map of this subtree, built lazily and cached.
+
+        The returned dict is owned by the tree: treat it as read-only.  It
+        stays valid until a structural mutation anywhere in the subtree
+        (insert/remove/text replacement) invalidates it; the next call
+        rebuilds.  Unstamped nodes appear under key ``None``.
+        """
+        if self._xidmap is None:
+            index = {}
+            for node in self.iter():
+                index[node.xid] = node
+                if isinstance(node, Element):
+                    node._xid_clean = True
+            self._xidmap = index
+            xid_index_stats.builds += 1
+        return self._xidmap
+
+    def find_by_xid(self, xid):
+        """The node carrying ``xid`` in this subtree, or ``None`` (O(1)
+        after the first call on an unmutated tree)."""
+        xid_index_stats.lookups += 1
+        return self.xid_index().get(xid)
+
+    def _invalidate_xid_index(self):
+        """Drop every cached map covering this element (self and up).
+
+        Stops climbing at the first element no cached map describes, so
+        trees that never built an index pay O(1) per mutation.
+        """
+        node = self
+        while node is not None:
+            if node._xidmap is None and not node._xid_clean:
+                break
+            if node._xidmap is not None:
+                node._xidmap = None
+                xid_index_stats.invalidations += 1
+            node._xid_clean = False
+            node = node.parent
+
+    def drop_xid_indexes(self):
+        """Forget cached maps in this whole subtree (and covering ancestors).
+
+        Needed when XIDs themselves are rewritten (stamping), which the
+        structural-mutation hooks cannot observe.
+        """
+        self._invalidate_xid_index()  # first: clears self and climbs up
+        for node in self.iter_elements():
+            if node._xidmap is not None:
+                node._xidmap = None
+                xid_index_stats.invalidations += 1
+            node._xid_clean = False
+
     # -- content -----------------------------------------------------------
 
     def text_content(self):
@@ -210,6 +307,7 @@ class Element(_Node):
     @text.setter
     def text(self, value):
         self.children = [c for c in self.children if not isinstance(c, Text)]
+        self._invalidate_xid_index()
         if value is not None and value != "":
             self.insert(0, Text(value))
 

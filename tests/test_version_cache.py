@@ -1,0 +1,197 @@
+"""Tests for the reconstruction version cache (storage/cache.py).
+
+Covers the satellite checklist: hit/miss counters, LRU eviction order,
+invalidation on update/delete, cached-vs-uncached reconstruction equality
+across the snapshot-interval option matrix, and that ``cache_size=0``
+leaves the paper's delta-read accounting untouched.
+"""
+
+import pytest
+
+from repro.storage import TemporalDocumentStore, VersionCache
+from repro.workload import TDocGenerator
+from repro.xmlcore import element, serialize
+
+VERSIONS = 12
+
+
+def _build(snapshot_interval=None, cache_size=0, versions=VERSIONS, seed=7):
+    store = TemporalDocumentStore(
+        snapshot_interval=snapshot_interval, cache_size=cache_size
+    )
+    trees = TDocGenerator(seed=seed).version_sequence("d.xml", versions)
+    store.put("d.xml", trees[0])
+    for tree in trees[1:]:
+        store.update("d.xml", tree)
+    return store
+
+
+class TestVersionCacheUnit:
+    def test_disabled_cache_is_inert(self):
+        cache = VersionCache(0)
+        assert not cache.enabled
+        cache.store(1, 1, element("a"))
+        assert len(cache) == 0
+        assert cache.lookup(1, 1, 5) == (None, None)
+        assert cache.stats.as_dict()["hits"] == 0
+        assert cache.stats.misses == 0  # disabled: not even misses counted
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            VersionCache(-1)
+
+    def test_hit_and_miss_counters(self):
+        cache = VersionCache(4)
+        assert cache.lookup(1, 1, 5) == (None, None)
+        assert cache.stats.misses == 1
+        cache.store(1, 3, element("a"))
+        number, tree = cache.lookup(1, 1, 5)
+        assert number == 3 and tree.tag == "a"
+        assert cache.stats.hits == 1
+
+    def test_lookup_prefers_nearest_at_or_after(self):
+        cache = VersionCache(4)
+        cache.store(1, 3, element("three"))
+        cache.store(1, 8, element("eight"))
+        number, tree = cache.lookup(1, 2, 10)
+        assert number == 3 and tree.tag == "three"
+        # Versions before the target are never usable as a backward start.
+        cache.store(1, 1, element("one"))
+        number, _tree = cache.lookup(1, 2, 10)
+        assert number == 3
+
+    def test_lookup_respects_max_start(self):
+        cache = VersionCache(4)
+        cache.store(1, 9, element("nine"))
+        assert cache.lookup(1, 2, 5) == (None, None)  # snapshot at 5 is closer
+
+    def test_copy_on_return_both_directions(self):
+        cache = VersionCache(4)
+        original = element("doc", element("child"))
+        cache.store(1, 1, original)
+        original.append(element("mutated-after-store"))
+        _n, first = cache.lookup(1, 1, 1)
+        assert first.find("mutated-after-store") is None
+        first.append(element("mutated-after-lookup"))
+        _n, second = cache.lookup(1, 1, 1)
+        assert second.find("mutated-after-lookup") is None
+
+    def test_lru_eviction_order(self):
+        cache = VersionCache(2)
+        cache.store(1, 1, element("a"))
+        cache.store(1, 2, element("b"))
+        cache.store(1, 3, element("c"))
+        assert cache.keys() == [(1, 2), (1, 3)]
+        assert cache.stats.evictions == 1
+        # A hit refreshes recency: (1, 2) survives the next eviction.
+        cache.lookup(1, 2, 2)
+        cache.store(1, 4, element("d"))
+        assert cache.keys() == [(1, 2), (1, 4)]
+
+    def test_invalidate_drops_only_that_document(self):
+        cache = VersionCache(8)
+        cache.store(1, 1, element("a"))
+        cache.store(1, 2, element("b"))
+        cache.store(2, 1, element("c"))
+        assert cache.invalidate(1) == 2
+        assert cache.stats.invalidations == 2
+        assert cache.keys() == [(2, 1)]
+        assert cache.invalidate(99) == 0
+
+    def test_clear(self):
+        cache = VersionCache(8)
+        cache.store(1, 1, element("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+
+class TestRepositoryIntegration:
+    def test_repeated_reconstruction_hits(self):
+        store = _build(cache_size=8)
+        stats = store.version_cache.stats
+        store.version("d.xml", 3)
+        assert stats.hits == 0 and stats.misses == 1
+        store.repository.delta_reads = 0
+        store.version("d.xml", 3)
+        assert stats.hits == 1
+        assert store.repository.delta_reads == 0  # exact hit: no chain walk
+
+    def test_saved_delta_reads_accounting(self):
+        store = _build(cache_size=8)
+        store.version("d.xml", VERSIONS - 4)
+        saved_before = store.version_cache.stats.saved_delta_reads
+        store.version("d.xml", VERSIONS - 4)
+        # The second call would have cost 4 delta reads uncached.
+        assert store.version_cache.stats.saved_delta_reads == saved_before + 4
+
+    def test_nearer_cached_version_shortens_chain(self):
+        store = _build(cache_size=8)
+        store.version("d.xml", 6)  # cold: walks from current
+        store.repository.delta_reads = 0
+        store.version("d.xml", 4)  # warm: starts from cached v6, not current
+        assert store.repository.delta_reads == 2
+
+    @pytest.mark.parametrize("interval", [None, 4, 8])
+    def test_cached_equals_uncached_across_option_matrix(self, interval):
+        cached = _build(snapshot_interval=interval, cache_size=6)
+        uncached = _build(snapshot_interval=interval, cache_size=0)
+        # Two passes so the second runs against a populated cache.
+        for _pass in range(2):
+            for number in range(1, VERSIONS + 1):
+                assert serialize(cached.version("d.xml", number)) == serialize(
+                    uncached.version("d.xml", number)
+                )
+
+    def test_invalidation_on_update(self):
+        store = _build(cache_size=8)
+        store.version("d.xml", 2)
+        assert len(store.version_cache) > 0
+        extra = TDocGenerator(seed=11).version_sequence("x", 2)[1]
+        store.update("d.xml", extra)
+        assert len(store.version_cache) == 0
+        assert store.version_cache.stats.invalidations > 0
+        # And the reconstruction after the commit is still correct.
+        assert serialize(store.version("d.xml", VERSIONS + 1)) == serialize(
+            store.current("d.xml")
+        )
+
+    def test_invalidation_on_delete(self):
+        store = _build(cache_size=8)
+        store.version("d.xml", 2)
+        assert len(store.version_cache) > 0
+        store.delete("d.xml")
+        assert len(store.version_cache) == 0
+        # History remains reconstructable after the delete.
+        assert store.version("d.xml", 2) is not None
+
+    def test_cache_size_zero_matches_seed_delta_reads(self):
+        """The paper's E3 accounting: k-th version costs VERSIONS - k reads."""
+        store = _build(cache_size=0)
+        repo = store.repository
+        for number in (1, 4, 9, VERSIONS):
+            repo.delta_reads = 0
+            store.version("d.xml", number)
+            assert repo.delta_reads == VERSIONS - number
+            # Repeating does not get cheaper: no cache, no memory.
+            repo.delta_reads = 0
+            store.version("d.xml", number)
+            assert repo.delta_reads == VERSIONS - number
+        assert store.version_cache.stats.as_dict() == {
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "evictions": 0,
+            "invalidations": 0,
+            "saved_delta_reads": 0,
+        }
+
+    def test_snapshot_still_wins_when_closer_than_cache(self):
+        store = _build(snapshot_interval=4, cache_size=8)
+        store.version("d.xml", 11)  # caches v11
+        store.repository.delta_reads = 0
+        store.repository.snapshot_reads = 0
+        store.version("d.xml", 3)
+        # Snapshot at v4 (1 delta away) beats cached v11 (8 deltas away).
+        assert store.repository.snapshot_reads == 1
+        assert store.repository.delta_reads == 1
