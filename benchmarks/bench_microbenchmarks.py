@@ -83,7 +83,7 @@ def test_pattern_scan_latency(benchmark):
     ts = store.clock.now()
 
     matches = benchmark(
-        lambda: TPatternScan(fti, pattern, ts, store=store).run()
+        lambda: list(TPatternScan(fti, pattern, ts, store=store).run())
     )
     assert isinstance(matches, list)
 

@@ -9,6 +9,7 @@ document.  The gap should widen with collection size and history length.
 
 import pytest
 
+from joinbench import compare_engines, engine_table
 from repro.bench import CostMeter, Table
 from repro.index import TemporalFullTextIndex
 from repro.operators import TPatternScan
@@ -52,7 +53,9 @@ def test_tpatternscan_vs_navigation(benchmark, emit, versions):
 
     meter = CostMeter(store=store, indexes=[fti])
     with meter.measure() as index_cost:
-        index_hits = TPatternScan(fti, pattern, mid_ts, store=store).teids()
+        index_hits = list(
+            TPatternScan(fti, pattern, mid_ts, store=store).teids()
+        )
     with meter.measure() as nav_cost:
         nav_hits = [
             el
@@ -82,4 +85,36 @@ def test_tpatternscan_vs_navigation(benchmark, emit, versions):
     assert index_cost.result.current_reads == 0
     assert nav_cost.result.delta_reads + nav_cost.result.current_reads > 0
 
-    benchmark(lambda: TPatternScan(fti, pattern, mid_ts, store=store).teids())
+    benchmark(
+        lambda: list(TPatternScan(fti, pattern, mid_ts, store=store).teids())
+    )
+
+
+@pytest.mark.parametrize("versions", [8, 16])
+def test_join_engines_snapshot(emit, join_report, versions):
+    """E1b: the snapshot join — seed nested loop vs. the hash join, over
+    FTI_lookup_T posting lists (lists pre-filtered to one instant, so the
+    win here is structural probing, not temporal pruning)."""
+    store, fti, names, vocab = _build(n_docs=8, versions=versions)
+    word = vocab.common(3)[-1]
+    pattern = Pattern.from_path("//item", value=word)
+    mid_ts = store.delta_index(names[len(names) // 2]).entries[
+        versions // 2
+    ].timestamp
+    posting_lists = [
+        fti.lookup_t(node.term, mid_ts) for node in pattern.nodes()
+    ]
+
+    record = compare_engines(
+        "E1b_tpatternscan_join",
+        {"docs": len(names), "versions": versions, "word": word},
+        pattern,
+        posting_lists,
+    )
+    emit(engine_table(
+        f"E1b: snapshot join engines, {len(names)} docs x {versions} versions",
+        record,
+    ))
+    join_report(record)
+
+    assert record["probe_ratio"] >= 1.0

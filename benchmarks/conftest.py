@@ -3,11 +3,21 @@
 Benchmarks print the paper-style tables through ``emit`` (bypassing pytest
 capture, so ``pytest benchmarks/ --benchmark-only`` shows the series), and
 time a representative operation with pytest-benchmark.
+
+The join benchmarks additionally record machine-readable engine
+comparisons through ``join_report``; everything collected in a session is
+written to ``BENCH_joins.json`` at the repository root when the run ends.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+_JOIN_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_joins.json"
+_join_records = []
 
 
 @pytest.fixture
@@ -23,3 +33,28 @@ def emit(capsys):
                 print(table_or_text)
 
     return _emit
+
+
+@pytest.fixture
+def join_report():
+    """Collect one nested-loop vs. hash-join comparison record."""
+
+    def _add(record):
+        _join_records.append(record)
+
+    return _add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _join_records:
+        return
+    payload = {
+        "description": (
+            "Structural-temporal join engines compared: the seed "
+            "nested-loop join vs. the selectivity-ordered hash join "
+            "(wall time and candidate postings probed)."
+        ),
+        "runs": sorted(_join_records, key=lambda r: r["benchmark"]),
+    }
+    _JOIN_REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _join_records.clear()

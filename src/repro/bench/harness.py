@@ -26,6 +26,9 @@ class Measurement:
     version_reads: int = 0  # stratum full-version reads
     postings_scanned: int = 0
     lookups: int = 0
+    join_candidates_probed: int = 0   # postings the structural join tested
+    join_candidates_scanned: int = 0  # nested-loop-equivalent posting touches
+    join_matches: int = 0
 
     def estimated_io_ms(self, seek_ms=8.0, page_ms=0.1):
         return self.seeks * seek_ms + (
@@ -42,6 +45,9 @@ class Measurement:
             "current_reads": self.current_reads,
             "version_reads": self.version_reads,
             "postings_scanned": self.postings_scanned,
+            "join_candidates_probed": self.join_candidates_probed,
+            "join_candidates_scanned": self.join_candidates_scanned,
+            "join_matches": self.join_matches,
         }
 
 
@@ -54,10 +60,11 @@ class CostMeter:
     >>> m.result.delta_reads                               # doctest: +SKIP
     """
 
-    def __init__(self, store=None, stratum=None, indexes=()):
+    def __init__(self, store=None, stratum=None, indexes=(), join_stats=None):
         self.store = store
         self.stratum = stratum
         self.indexes = list(indexes)
+        self.join_stats = join_stats  # a repro.index.stats.JoinStats, or None
 
     def _capture(self):
         state = {}
@@ -79,6 +86,12 @@ class CostMeter:
             (index.stats.lookups, index.stats.postings_scanned)
             for index in self.indexes
         ]
+        if self.join_stats is not None:
+            state["join"] = (
+                self.join_stats.candidates_probed,
+                self.join_stats.candidates_scanned,
+                self.join_stats.matches_emitted,
+            )
         return state
 
     def measure(self):
@@ -123,6 +136,12 @@ class _Region:
         ):
             measurement.lookups += lk_a - lk_b
             measurement.postings_scanned += ps_a - ps_b
+        if "join" in after:
+            probed_a, scanned_a, matches_a = after["join"]
+            probed_b, scanned_b, matches_b = before["join"]
+            measurement.join_candidates_probed = probed_a - probed_b
+            measurement.join_candidates_scanned = scanned_a - scanned_b
+            measurement.join_matches = matches_a - matches_b
         self.result = measurement
         return False
 

@@ -19,7 +19,7 @@ from .fti import TemporalFullTextIndex
 from .delta_fti import DeltaOperationIndex, EventPosting
 from .hybrid_fti import HybridIndex
 from .lifetime import LifetimeIndex
-from .stats import IndexStats
+from .stats import IndexStats, JoinStats
 
 __all__ = [
     "Posting",
@@ -31,4 +31,5 @@ __all__ = [
     "HybridIndex",
     "LifetimeIndex",
     "IndexStats",
+    "JoinStats",
 ]

@@ -190,18 +190,22 @@ class DeltaOperationIndex:
 
     # -- snapshot queries (alternative 2's weakness) --------------------------------
 
-    def lookup_t(self, word, ts):
+    def lookup_t(self, word, ts, docs=None):
         """Elements containing ``word`` at time ``ts``, folded from events.
 
         Requires replaying the word's entire event history up to ``ts`` —
         the cost the paper gives for rejecting this alternative on snapshot
-        access patterns.  Returns ``(doc_id, xid)`` pairs.
+        access patterns.  Returns ``(doc_id, xid)`` pairs.  ``docs``
+        restricts the fold to a document set (the same pushdown the content
+        index supports; out-of-set events are skipped, not folded).
         """
         events = self._by_word.get(word, [])
         alive = {}
         for event in sorted(events, key=lambda e: e.ts):
             if event.ts > ts:
                 break
+            if docs is not None and event.doc_id not in docs:
+                continue
             slot = (event.doc_id, event.xid)
             if event.op == OP_INSERT:
                 alive[slot] = alive.get(slot, 0) + 1

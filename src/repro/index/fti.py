@@ -116,33 +116,48 @@ class TemporalFullTextIndex:
 
     # -- the three FTI operations (Section 7.2) ------------------------------------
 
-    def lookup(self, word):
+    def lookup(self, word, docs=None):
         """``FTI_lookup``: occurrences in currently valid document versions.
 
         Served entirely from the open-postings side list — closed history is
-        never scanned.
+        never scanned.  ``docs`` restricts the result to a document set
+        during retrieval (the pattern operators' forest argument, pushed
+        down so no full list is ever materialized just to be filtered).
         """
-        result = list(self._open_lists.get(word, ()))
-        self.stats.scanned(len(result), returned=len(result))
+        candidates = self._open_lists.get(word, ())
+        if docs is None:
+            result = list(candidates)
+        else:
+            result = [p for p in candidates if p.doc_id in docs]
+        self.stats.scanned(len(candidates), returned=len(result))
         return result
 
-    def lookup_t(self, word, ts):
+    def lookup_t(self, word, ts, docs=None):
         """``FTI_lookup_T``: occurrences in versions valid at time ``ts``.
 
         Bisects the start-sorted list: only postings with ``start <= ts``
-        are examined at all.
+        are examined at all.  ``docs`` restricts during retrieval.
         """
         candidates = self._lists.get(word, [])
         prefix = bisect_right(candidates, ts, key=_start)
-        result = [p for p in candidates[:prefix] if p.end > ts]
+        result = [
+            p
+            for p in candidates[:prefix]
+            if p.end > ts and (docs is None or p.doc_id in docs)
+        ]
         self.stats.scanned(prefix, returned=len(result))
         return result
 
-    def lookup_h(self, word):
-        """``FTI_lookup_H``: every posting over the whole history."""
+    def lookup_h(self, word, docs=None):
+        """``FTI_lookup_H``: every posting over the whole history (sorted by
+        interval start).  ``docs`` restricts during retrieval."""
         candidates = self._lists.get(word, [])
-        self.stats.scanned(len(candidates), returned=len(candidates))
-        return list(candidates)
+        if docs is None:
+            result = list(candidates)
+        else:
+            result = [p for p in candidates if p.doc_id in docs]
+        self.stats.scanned(len(candidates), returned=len(result))
+        return result
 
     # -- introspection -----------------------------------------------------------------
 

@@ -30,14 +30,14 @@ class HybridIndex:
 
     # -- queries: route to the cheaper side -----------------------------------
 
-    def lookup(self, word):
-        return self.content.lookup(word)
+    def lookup(self, word, docs=None):
+        return self.content.lookup(word, docs=docs)
 
-    def lookup_t(self, word, ts):
-        return self.content.lookup_t(word, ts)
+    def lookup_t(self, word, ts, docs=None):
+        return self.content.lookup_t(word, ts, docs=docs)
 
-    def lookup_h(self, word):
-        return self.content.lookup_h(word)
+    def lookup_h(self, word, docs=None):
+        return self.content.lookup_h(word, docs=docs)
 
     def events_for_word(self, word, op=None):
         return self.operations.events_for_word(word, op)

@@ -75,6 +75,58 @@ class IndexStats:
 
 
 @dataclass
+class JoinStats:
+    """Counters the structural-temporal join maintains about itself.
+
+    Lives alongside :class:`IndexStats`: the FTI stats price posting
+    *retrieval*, these price the *join* over the retrieved lists.  The
+    benchmarks report both (E1/E2 and ``BENCH_joins.json``).
+
+    ``candidates_probed`` counts postings the engine actually tested
+    against a bound parent (after hash-bucket lookup and start-sorted
+    interval pruning); ``candidates_scanned`` counts the postings a
+    nested-loop scan would have touched at the same extension points, so
+    ``probe_savings`` is the per-run estimate of what the edge indexes
+    saved without re-running the baseline.
+    """
+
+    joins: int = 0               # structural_join invocations
+    docs_considered: int = 0     # documents surviving the doc intersection
+    candidates_probed: int = 0   # postings tested (hash path)
+    candidates_scanned: int = 0  # postings a full scan would have tested
+    intervals_pruned: int = 0    # candidates skipped by start-sorted bisect
+    matches_emitted: int = 0     # deduplicated matches yielded
+
+    @property
+    def probe_savings(self):
+        """Scanned-to-probed ratio (>1.0 = the hash edges saved work)."""
+        if not self.candidates_probed:
+            return 1.0 if not self.candidates_scanned else float("inf")
+        return self.candidates_scanned / self.candidates_probed
+
+    def as_dict(self):
+        return {
+            "joins": self.joins,
+            "docs_considered": self.docs_considered,
+            "candidates_probed": self.candidates_probed,
+            "candidates_scanned": self.candidates_scanned,
+            "intervals_pruned": self.intervals_pruned,
+            "matches_emitted": self.matches_emitted,
+            "probe_savings": round(self.probe_savings, 3)
+            if self.probe_savings != float("inf")
+            else "inf",
+        }
+
+    def reset(self):
+        self.joins = 0
+        self.docs_considered = 0
+        self.candidates_probed = 0
+        self.candidates_scanned = 0
+        self.intervals_pruned = 0
+        self.matches_emitted = 0
+
+
+@dataclass
 class StatsRegion:
     """Difference of two stats dicts over a measured region."""
 

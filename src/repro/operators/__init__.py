@@ -16,8 +16,11 @@ traditional ops   :mod:`repro.operators.relational`
 ================  =========================================================
 
 Operators follow a uniform calling convention: construct with their inputs,
-then ``run()`` (all results as a list) or iterate.  Scalar operators
-(CreTime, the version-navigation family) expose ``value()`` instead.
+then ``run()`` or iterate.  The pattern-scan family streams: ``run()`` and
+``teids()`` return lazy iterators over the structural join, so early-exit
+consumers (LIMIT) never drain the full match set — wrap in ``list()`` to
+materialize.  History operators return lists.  Scalar operators (CreTime,
+the version-navigation family) expose ``value()`` instead.
 """
 
 from .patternscan import PatternScan

@@ -8,39 +8,45 @@ Algorithm (Section 7.3.1):
 
 Operates on the *current* snapshot only; the temporal variants in
 :mod:`repro.operators.tpatternscan` swap in the temporal FTI lookups.
+
+``run()`` and ``teids()`` return lazy iterators: the structural join
+streams matches as it finds them, so consumers that stop early (LIMIT,
+existence checks) never pay for the rest of the match set.  The document
+restriction is pushed into the FTI lookups, so restricted scans never
+materialize out-of-scope postings.  Per-operator join work is counted in
+:attr:`join_stats` (a :class:`~repro.index.stats.JoinStats`).
 """
 
 from __future__ import annotations
 
+from ..index.stats import JoinStats
 from ..pattern.structjoin import structural_join
 
 
 class PatternScan:
     """Match ``pattern`` against all currently valid documents."""
 
-    def __init__(self, fti, pattern, docs=None):
+    def __init__(self, fti, pattern, docs=None, stats=None):
         """``docs`` optionally restricts matching to a set of doc_ids
-        (the operator's forest argument; ``None`` means the whole base)."""
+        (the operator's forest argument; ``None`` means the whole base).
+        ``stats`` is a shared :class:`JoinStats` to accumulate into."""
         self.fti = fti
         self.pattern = pattern
         self.docs = set(docs) if docs is not None else None
+        self.join_stats = stats if stats is not None else JoinStats()
 
     def run(self):
-        """All matches, as :class:`~repro.pattern.structjoin.PatternMatch`."""
+        """Iterator of :class:`~repro.pattern.structjoin.PatternMatch`."""
         posting_lists = [
-            self._restrict(self.fti.lookup(node.term))
+            self.fti.lookup(node.term, docs=self.docs)
             for node in self.pattern.nodes()
         ]
-        return structural_join(self.pattern, posting_lists)
+        return structural_join(self.pattern, posting_lists, docs=self.docs,
+                               stats=self.join_stats)
 
     def teids(self):
-        """TEIDs of the projected pattern node, one per match."""
-        return [m.teid(self.pattern) for m in self.run()]
-
-    def _restrict(self, postings):
-        if self.docs is None:
-            return postings
-        return [p for p in postings if p.doc_id in self.docs]
+        """TEIDs of the projected pattern node, one per match (lazy)."""
+        return (m.teid(self.pattern) for m in self.run())
 
     def __iter__(self):
         return iter(self.run())

@@ -8,48 +8,46 @@ lists come from ``FTI_lookup_H`` and the join additionally requires temporal
 overlap — "words in the pattern valid at same time, which actually implies
 that this is a temporal join".  Each result carries the maximal validity
 interval during which the combination held.
+
+Both operators stream: ``run()`` and the ``teids*()`` accessors return lazy
+iterators over the structural join, the document restriction is pushed into
+the FTI lookups, and per-operator join work is counted in
+:attr:`join_stats`.  (``teids_per_version()`` keeps its sorted output
+contract, so it drains the join before yielding.)
 """
 
 from __future__ import annotations
 
+from ..index.stats import JoinStats
 from ..pattern.structjoin import structural_join
 
 
 class TPatternScan:
     """Snapshot pattern scan at time ``ts``; outputs TEIDs at that time."""
 
-    def __init__(self, fti, pattern, ts, docs=None, store=None):
+    def __init__(self, fti, pattern, ts, docs=None, store=None, stats=None):
         self.fti = fti
         self.pattern = pattern
         self.ts = ts
         self.docs = set(docs) if docs is not None else None
         self.store = store
+        self.join_stats = stats if stats is not None else JoinStats()
 
     def run(self):
+        """Iterator of matches at the queried instant."""
         posting_lists = [
-            self._restrict(self.fti.lookup_t(node.term, self.ts))
+            self.fti.lookup_t(node.term, self.ts, docs=self.docs)
             for node in self.pattern.nodes()
         ]
-        return structural_join(self.pattern, posting_lists)
+        return structural_join(self.pattern, posting_lists, docs=self.docs,
+                               stats=self.join_stats)
 
     def teids(self):
-        """TEIDs of the projected node; timestamps are normalized to the
-        containing version's commit time when a store is available."""
-        out = []
-        for match in self.run():
-            teid = match.teid(self.pattern, at=self.ts)
-            if self.store is not None:
-                normalized = self.store.normalize_teid(teid)
-                if normalized is None:
-                    continue
-                teid = normalized
-            out.append(teid)
-        return out
-
-    def _restrict(self, postings):
-        if self.docs is None:
-            return postings
-        return [p for p in postings if p.doc_id in self.docs]
+        """TEIDs of the projected node (lazy); timestamps are normalized to
+        the containing version's commit time when a store is available."""
+        return _normalized_teids(
+            self.run(), self.pattern, self.store, at=self.ts
+        )
 
     def __iter__(self):
         return iter(self.run())
@@ -58,23 +56,29 @@ class TPatternScan:
 class TPatternScanAll:
     """Pattern scan over the whole history; a temporal multiway join."""
 
-    def __init__(self, fti, pattern, docs=None, store=None):
+    def __init__(self, fti, pattern, docs=None, store=None, stats=None):
         self.fti = fti
         self.pattern = pattern
         self.docs = set(docs) if docs is not None else None
         self.store = store
+        self.join_stats = stats if stats is not None else JoinStats()
 
     def run(self):
-        """Matches with their maximal validity intervals."""
+        """Iterator of matches with their maximal validity intervals."""
         posting_lists = [
-            self._restrict(self.fti.lookup_h(node.term))
+            self.fti.lookup_h(node.term, docs=self.docs)
             for node in self.pattern.nodes()
         ]
-        return structural_join(self.pattern, posting_lists)
+        return structural_join(self.pattern, posting_lists, docs=self.docs,
+                               stats=self.join_stats)
 
     def teids(self):
-        """One TEID per match interval (at the interval's first version)."""
-        return [m.teid(self.pattern) for m in self.run()]
+        """One TEID per match interval, at the interval's first version
+        (lazy).  As in :meth:`TPatternScan.teids`, timestamps are normalized
+        to the containing version's commit time when a store is available —
+        history scans and snapshot scans hand out the same canonical TEIDs.
+        """
+        return _normalized_teids(self.run(), self.pattern, self.store)
 
     def teids_per_version(self):
         """Expand each match interval into one TEID per document version it
@@ -83,10 +87,14 @@ class TPatternScanAll:
         A match interval ``[t1, t2)`` may span several commits of the
         document (commits that did not disturb the matched words); queries
         like the price history (Q3) want one row per *version*, so this is
-        the expansion the executor uses.
+        the expansion the executor uses.  Output is sorted, so the full
+        match set is drained before the first TEID is yielded.
         """
         if self.store is None:
             raise ValueError("teids_per_version() requires a store")
+        return self._expanded_teids()
+
+    def _expanded_teids(self):
         seen = set()
         out = []
         for match in self.run():
@@ -99,12 +107,21 @@ class TPatternScanAll:
                     seen.add(teid)
                     out.append(teid)
         out.sort()
-        return out
-
-    def _restrict(self, postings):
-        if self.docs is None:
-            return postings
-        return [p for p in postings if p.doc_id in self.docs]
+        yield from out
 
     def __iter__(self):
         return iter(self.run())
+
+
+def _normalized_teids(matches, pattern, store, at=None):
+    """Project each match to a TEID, normalizing (or dropping) through the
+    store's delta index when one is available — shared by both scan
+    variants so they treat TEIDs identically."""
+    for match in matches:
+        teid = match.teid(pattern, at=at)
+        if store is not None:
+            normalized = store.normalize_teid(teid)
+            if normalized is None:
+                continue
+            teid = normalized
+        yield teid

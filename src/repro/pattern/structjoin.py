@@ -13,17 +13,41 @@ node, it joins on:
   trivially satisfied; for the history variant this intersection is what
   makes it "actually a temporal join").
 
-Within one document the search is a backtracking nested-loop join in
-pattern pre-order, so a child node only ever tests candidates against its
-already-bound parent.  Posting lists per document are small, which is the
-same argument Xyleme's PatternScan makes.
+The paper evaluates the pattern in fixed pre-order with a backtracking
+nested-loop scan per node (kept below as :func:`nested_loop_join`, the
+reference the equivalence tests and benchmarks compare against).  The
+production engine improves on it three ways while producing the identical
+match *set*:
+
+**Selectivity ordering.**  Within each document, pattern nodes are bound
+smallest-posting-list-first, constrained so a child is only bound after its
+pattern parent (the hash edge indexes below need the parent side fixed).
+Rare terms prune the search tree before common ones fan it out.
+
+**Hash-accelerated edges.**  Per document, each non-root node's list is
+bucketed by the XIDs that could satisfy its edge: by ``parent_xid`` for
+``child`` edges, by every ancestor XID for ``descendant``, and by self plus
+ancestors for ``contains``.  Finding the candidates under a bound parent is
+a dict probe instead of a scan of the whole list.  Buckets are kept sorted
+by interval start, so temporal-overlap pruning can ``bisect`` past every
+candidate born after the current combination's validity ended (the
+TPatternScanAll case, where lists span the whole history).
+
+**Streaming.**  :func:`structural_join` returns a lazy iterator; matches
+are deduplicated and yielded as found, so a consumer applying LIMIT-style
+early exit never pays for the matches it does not take.
+
+:class:`~repro.index.stats.JoinStats` counts documents considered,
+candidates probed vs. scanned, intervals pruned, and matches emitted.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from ..clock import Interval
+from ..index.stats import JoinStats
 from ..model.identifiers import TEID
 
 
@@ -50,32 +74,208 @@ class PatternMatch:
         return tuple(p.xid for p in self.postings)
 
 
-def structural_join(pattern, posting_lists):
-    """Join the posting lists of all pattern nodes; returns matches.
+def structural_join(pattern, posting_lists, docs=None, stats=None):
+    """Join the posting lists of all pattern nodes; yields matches lazily.
 
     ``posting_lists[i]`` holds the candidates for pre-order node ``i``.
+    ``docs`` optionally names the requested document set (enables the
+    single-document fast path that skips per-document grouping).  ``stats``
+    is a :class:`~repro.index.stats.JoinStats` to accumulate into.
     """
     nodes = pattern.nodes()
     if len(posting_lists) != len(nodes):
         raise ValueError("one posting list per pattern node required")
+    if stats is None:
+        stats = JoinStats()
+    return _join_iter(pattern, posting_lists, docs, stats)
+
+
+def _join_iter(pattern, posting_lists, docs, stats):
+    stats.joins += 1
+    if any(not lst for lst in posting_lists):
+        return
+    parent_of = pattern.parent_map()
+    per_doc = _partition_by_doc(posting_lists, docs)
+    for doc_id in sorted(per_doc):
+        stats.docs_considered += 1
+        seen = set()  # set semantics; scoped per doc (matches can't collide across docs)
+        for match in _join_one_doc(doc_id, per_doc[doc_id], parent_of,
+                                   stats):
+            key = (match.xids(), match.interval)
+            if key not in seen:
+                seen.add(key)
+                stats.matches_emitted += 1
+                yield match
+
+
+def _partition_by_doc(posting_lists, docs):
+    """``{doc_id: [per-node posting lists]}`` for every document that has
+    candidates in *all* lists.
+
+    Grouping starts from the smallest list and intersects incrementally:
+    every later list only buckets postings of documents still alive, so a
+    rare term cheapens the grouping of the common ones.  When a single
+    document is requested, grouping is skipped entirely.
+    """
+    n = len(posting_lists)
+    if docs is not None and len(docs) == 1:
+        (only,) = docs
+        lists = [
+            [p for p in lst if p.doc_id == only] for lst in posting_lists
+        ]
+        if any(not lst for lst in lists):
+            return {}
+        return {only: lists}
+
+    order = sorted(range(n), key=lambda i: len(posting_lists[i]))
+    grouped = [None] * n
+    alive = None
+    for i in order:
+        groups = {}
+        for posting in posting_lists[i]:
+            if docs is not None and posting.doc_id not in docs:
+                continue
+            if alive is not None and posting.doc_id not in alive:
+                continue
+            groups.setdefault(posting.doc_id, []).append(posting)
+        if not groups:
+            return {}
+        grouped[i] = groups
+        alive = groups.keys()
+    return {
+        doc_id: [grouped[i][doc_id] for i in range(n)] for doc_id in alive
+    }
+
+
+def _selectivity_order(lists, parent_of):
+    """Node binding order: smallest list first, parents before children."""
+    n = len(lists)
+    placed = set()
+    available = [i for i in range(n) if i not in parent_of]
+    order = []
+    while available:
+        nxt = min(available, key=lambda i: (len(lists[i]), i))
+        available.remove(nxt)
+        placed.add(nxt)
+        order.append(nxt)
+        for child, (parent, _rel) in parent_of.items():
+            if parent == nxt and child not in placed:
+                available.append(child)
+    return order
+
+
+def _edge_index(postings, relationship):
+    """Bucket ``postings`` by the parent XIDs that satisfy ``relationship``.
+
+    Returns ``{xid: (bucket, starts)}`` with each bucket sorted by interval
+    start (``starts`` is the parallel key list the temporal prune bisects).
+    """
+    buckets = {}
+    for posting in sorted(postings, key=_start_of):
+        if relationship == "child":
+            keys = (posting.parent_xid(),)
+        elif relationship == "descendant":
+            keys = posting.ancestors
+        elif relationship == "contains":
+            keys = (posting.xid,) + tuple(posting.ancestors)
+        else:
+            raise ValueError(f"unknown relationship {relationship!r}")
+        for key in keys:
+            buckets.setdefault(key, []).append(posting)
+    return {
+        key: (bucket, [p.start for p in bucket])
+        for key, bucket in buckets.items()
+    }
+
+
+def _start_of(posting):
+    return posting.start
+
+
+def _join_one_doc(doc_id, lists, parent_of, stats):
+    n = len(lists)
+    order = _selectivity_order(lists, parent_of)
+    edge_indexes = {}  # node index -> {xid: (bucket, starts)}
+    bound = [None] * n
+
+    def candidates_for(node, interval):
+        link = parent_of.get(node)
+        stats.candidates_scanned += len(lists[node])
+        if link is None:
+            return lists[node]
+        index = edge_indexes.get(node)
+        if index is None:
+            index = edge_indexes[node] = _edge_index(lists[node], link[1])
+        entry = index.get(bound[link[0]].xid)
+        if entry is None:
+            return ()
+        bucket, starts = entry
+        if interval is None:
+            return bucket
+        # Start-sorted prune: candidates born at or after the current
+        # combination's end can never overlap it.
+        cut = bisect_left(starts, interval.end)
+        stats.intervals_pruned += len(bucket) - cut
+        return bucket[:cut] if cut < len(bucket) else bucket
+
+    def extend(position, interval):
+        if position == n:
+            yield PatternMatch(doc_id, interval, tuple(bound))
+            return
+        node = order[position]
+        for posting in candidates_for(node, interval):
+            stats.candidates_probed += 1
+            narrowed = _intersect(interval, posting)
+            if narrowed is None:
+                continue
+            bound[node] = posting
+            yield from extend(position + 1, narrowed)
+        bound[node] = None
+
+    yield from extend(0, None)
+
+
+def _intersect(interval, posting):
+    candidate = Interval(posting.start, posting.end)
+    if interval is None:
+        return candidate
+    return interval.intersect(candidate)
+
+
+# -- the seed algorithm, kept as the equivalence/benchmark baseline --------------
+
+
+def nested_loop_join(pattern, posting_lists, stats=None):
+    """The paper's backtracking nested-loop join in pattern pre-order.
+
+    This is the pre-overhaul engine, retained verbatim as the reference:
+    the equivalence harness asserts :func:`structural_join` produces the
+    identical match set, and the benchmarks compare candidate-probe counts
+    against it.  Returns the full match list (no streaming).
+    """
+    nodes = pattern.nodes()
+    if len(posting_lists) != len(nodes):
+        raise ValueError("one posting list per pattern node required")
+    if stats is None:
+        stats = JoinStats()
+    stats.joins += 1
     if any(not lst for lst in posting_lists):
         return []
 
     by_doc = [_group_by_doc(lst) for lst in posting_lists]
-    # Candidate documents must appear in every list.
     docs = set(by_doc[0])
     for groups in by_doc[1:]:
         docs &= set(groups)
 
-    parent_of = {}  # node index -> (parent index, relationship)
-    for parent, child, relationship in pattern.edges():
-        parent_of[child] = (parent, relationship)
-
+    parent_of = pattern.parent_map()
     matches = []
     for doc_id in sorted(docs):
+        stats.docs_considered += 1
         lists = [groups[doc_id] for groups in by_doc]
-        _join_one_doc(doc_id, lists, parent_of, matches)
-    return _dedupe(matches)
+        _nested_join_one_doc(doc_id, lists, parent_of, matches, stats)
+    unique = _dedupe(matches)
+    stats.matches_emitted += len(unique)
+    return unique
 
 
 def _group_by_doc(postings):
@@ -85,7 +285,7 @@ def _group_by_doc(postings):
     return groups
 
 
-def _join_one_doc(doc_id, lists, parent_of, out):
+def _nested_join_one_doc(doc_id, lists, parent_of, out, stats):
     bound = [None] * len(lists)
 
     def extend(node_index, interval):
@@ -93,7 +293,9 @@ def _join_one_doc(doc_id, lists, parent_of, out):
             out.append(PatternMatch(doc_id, interval, tuple(bound)))
             return
         link = parent_of.get(node_index)
+        stats.candidates_scanned += len(lists[node_index])
         for posting in lists[node_index]:
+            stats.candidates_probed += 1
             if link is not None:
                 parent_posting = bound[link[0]]
                 if not _related(parent_posting, posting, link[1]):
@@ -116,13 +318,6 @@ def _related(parent_posting, child_posting, relationship):
     if relationship == "contains":
         return parent_posting.contains(child_posting)
     raise ValueError(f"unknown relationship {relationship!r}")
-
-
-def _intersect(interval, posting):
-    candidate = Interval(posting.start, posting.end)
-    if interval is None:
-        return candidate
-    return interval.intersect(candidate)
 
 
 def _dedupe(matches):

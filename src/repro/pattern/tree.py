@@ -57,6 +57,7 @@ class Pattern:
         self._nodes = list(self._preorder(root))
         if not any(n.projected for n in self._nodes):
             root.projected = True
+        self._parent_map = None
 
     @staticmethod
     def _preorder(node):
@@ -78,6 +79,17 @@ class Pattern:
             for child in node.children:
                 out.append((i, index_of[id(child)], child.relationship))
         return out
+
+    def parent_map(self):
+        """``{child_index: (parent_index, relationship)}`` over pre-order
+        indexes — the edge shape the structural join consumes (cached;
+        pattern trees are frozen once wrapped in a :class:`Pattern`)."""
+        if self._parent_map is None:
+            self._parent_map = {
+                child: (parent, relationship)
+                for parent, child, relationship in self.edges()
+            }
+        return self._parent_map
 
     def projected_index(self):
         for i, node in enumerate(self._nodes):

@@ -177,12 +177,18 @@ class FromItem:
 
 @dataclass
 class Query:
-    """A full SELECT/FROM/WHERE query."""
+    """A full SELECT/FROM/WHERE[/LIMIT] query.
+
+    ``limit`` caps the number of result rows; with streaming binding
+    enumeration the executor stops the underlying index scan as soon as
+    the cap is reached (early exit, not a post-filter).
+    """
 
     select_items: list
     from_items: list
     where: Expr = None
     distinct: bool = False
+    limit: int = None
 
     def label(self):
         parts = ["SELECT"]
@@ -194,6 +200,8 @@ class Query:
         if self.where is not None:
             parts.append("WHERE")
             parts.append(self.where.label())
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
         return " ".join(parts)
 
     def variables(self):

@@ -18,6 +18,7 @@ from itertools import product
 
 from ..equality.value import coerce_scalar
 from ..errors import QueryPlanError
+from ..index.stats import JoinStats
 from ..xmlcore.node import Element, Text
 from ..xmlcore.serializer import serialize
 from .ast import AGGREGATES, FuncCall, Query, is_aggregate_expr
@@ -141,6 +142,10 @@ class QueryEngine:
         #: execute() call; bindings keep a reference, so results stay valid
         #: after the call returns).
         self.active_cache = None
+        #: Cumulative join-engine counters across this engine's index scans
+        #: (surfaced alongside the FTI's ``stats``; diffable per query with
+        #: :class:`~repro.bench.CostMeter`).
+        self.join_stats = JoinStats()
 
     # -- time context ------------------------------------------------------------
 
@@ -230,19 +235,38 @@ class QueryEngine:
                 raise QueryPlanError(
                     "cannot mix aggregate and non-aggregate SELECT items"
                 )
-            return self._aggregate(query, rows)
-        return self._project(query, rows)
+            result = self._aggregate(query, rows)
+            if query.limit is not None:
+                result.rows = result.rows[: query.limit]
+            return result
+        return self._project(query, rows, limit=query.limit)
 
     def _filtered_rows(self, variables, binding_lists, where):
+        """Lazily enumerate satisfying rows.
+
+        The single-variable case (the common shape of the paper's queries)
+        feeds bindings straight through without the ``product`` barrier, so
+        a LIMIT stops the underlying index scan mid-join; multi-variable
+        queries must materialize each binding list to form the product.
+        """
+        if len(binding_lists) == 1:
+            variable = variables[0]
+            for binding in binding_lists[0]:
+                row = {variable: binding}
+                if where is None or self._evaluator.predicate(where, row):
+                    yield row
+            return
         for combination in product(*binding_lists):
             row = dict(zip(variables, combination))
             if where is None or self._evaluator.predicate(where, row):
                 yield row
 
-    def _project(self, query, rows):
+    def _project(self, query, rows, limit=None):
         columns = [item.label() for item in query.select_items]
         out = []
         seen = set()
+        if limit is not None and limit <= 0:
+            return ResultSet(columns, out)
         for row in rows:
             values = {
                 label: self._evaluator.eval(item, row)
@@ -254,6 +278,8 @@ class QueryEngine:
                     continue
                 seen.add(key)
             out.append(values)
+            if limit is not None and len(out) >= limit:
+                break
         return ResultSet(columns, out)
 
     def _aggregate(self, query, rows):

@@ -34,6 +34,7 @@ KEYWORDS = frozenset(
         "NOW",
         "AS",
         "DOC",
+        "LIMIT",
     }
 )
 

@@ -4,6 +4,7 @@ Grammar (lexer terminals in caps)::
 
     query        := SELECT [DISTINCT] expr ("," expr)*
                     FROM from_item ("," from_item)* [WHERE or_expr]
+                    [LIMIT NUMBER]
     from_item    := DOC "(" STRING ")" ["[" time_spec "]"] [path] [AS] IDENT
     time_spec    := EVERY | time_expr
     or_expr      := and_expr (OR and_expr)*
@@ -111,10 +112,20 @@ class _Parser:
         where = None
         if self._accept_keyword("WHERE"):
             where = self._or_expr()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._limit_count()
         if self._peek().kind != EOF:
             self._error("unexpected trailing input")
         self._check_variables(select_items, from_items, where)
-        return Query(select_items, from_items, where, distinct)
+        return Query(select_items, from_items, where, distinct, limit)
+
+    def _limit_count(self):
+        token = self._peek()
+        if token.kind != NUMBER or "." in token.value:
+            self._error("LIMIT expects a non-negative integer")
+        self._next()
+        return int(token.value)
 
     def _check_variables(self, select_items, from_items, where):
         declared = {f.var for f in from_items}

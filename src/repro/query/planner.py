@@ -143,6 +143,15 @@ def _resolve_documents(store, url):
 
 
 def _index_bindings(engine, item, where, doc_ids, window=None):
+    """Bindings through the pattern index.
+
+    Plan construction (pattern build, time resolution) stays eager so
+    :class:`QueryPlanError` still triggers the navigational fallback; the
+    returned value is a lazy iterator over the streaming scan, so an
+    early-exiting consumer (LIMIT) stops the join mid-flight.  The EVERY
+    path keeps its sorted, version-deduplicated output contract and
+    therefore drains the join before yielding.
+    """
     pushdown = _pushable_value(item.var, where)
     steps = Path(item.path).steps
     pattern = _build_pattern(steps, pushdown)
@@ -150,15 +159,19 @@ def _index_bindings(engine, item, where, doc_ids, window=None):
 
     if item.time_spec is EVERY:
         scan = TPatternScanAll(engine.fti, pattern, docs=doc_ids,
-                               store=engine.store)
+                               store=engine.store, stats=engine.join_stats)
         return _expand_interval_matches(
             engine, scan.run(), pattern, projected, steps, window
         )
 
     ts = engine.resolve_time(item.time_spec)
     scan = TPatternScan(engine.fti, pattern, ts, docs=doc_ids,
-                        store=engine.store)
-    bindings = []
+                        store=engine.store, stats=engine.join_stats)
+    return _snapshot_bindings(engine, scan, projected, steps, ts)
+
+
+def _snapshot_bindings(engine, scan, projected, steps, ts):
+    """One binding per anchored snapshot match, streamed off the join."""
     for match in scan.run():
         posting = match.postings[projected]
         if not _anchored(posting.path, steps):
@@ -169,11 +182,8 @@ def _index_bindings(engine, item, where, doc_ids, window=None):
             continue
         teid = TEID(match.doc_id, posting.xid, entry.timestamp)
         interval = Interval(entry.timestamp, dindex.end_of(entry))
-        bindings.append(
-            BoundElement(engine.store, teid, interval,
-                         cache=engine.active_cache)
-        )
-    return bindings
+        yield BoundElement(engine.store, teid, interval,
+                           cache=engine.active_cache)
 
 
 def _expand_interval_matches(engine, matches, pattern, projected, steps,
@@ -207,9 +217,9 @@ def _expand_interval_matches(engine, matches, pattern, projected, steps,
     unique = {}
     for binding in bindings:
         unique.setdefault(binding.teid, binding)
-    return sorted(unique.values(), key=lambda b: (b.teid.doc_id,
-                                                  b.teid.timestamp,
-                                                  b.teid.xid))
+    yield from sorted(unique.values(), key=lambda b: (b.teid.doc_id,
+                                                      b.teid.timestamp,
+                                                      b.teid.xid))
 
 
 def _build_pattern(from_steps, pushdown):

@@ -105,7 +105,8 @@ def rewrite(query, now=None):
         from_items.append(
             FromItem(item.url, time_spec, item.path, item.var)
         )
-    rewritten = Query(select_items, from_items, folded_where, query.distinct)
+    rewritten = Query(select_items, from_items, folded_where,
+                      query.distinct, query.limit)
     return rewritten, windows
 
 

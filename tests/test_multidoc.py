@@ -70,10 +70,10 @@ class TestCrossDocumentFTI:
         store, fti, _lifetime = multistore
         pattern = Pattern.from_path("item", value="blue")
         at = T0 + 4 * DAY
-        all_docs = TPatternScan(fti, pattern, at, store=store).teids()
-        only_a = TPatternScan(
+        all_docs = list(TPatternScan(fti, pattern, at, store=store).teids())
+        only_a = list(TPatternScan(
             fti, pattern, at, docs={store.doc_id("a.xml")}, store=store
-        ).teids()
+        ).teids())
         assert len(all_docs) == 1
         assert only_a == []
 

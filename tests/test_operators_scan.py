@@ -31,7 +31,7 @@ class TestPatternScan:
     def test_current_snapshot_only(self, setup):
         store, fti = setup
         scan = PatternScan(fti, Pattern.from_path("restaurant"))
-        teids = scan.teids()
+        teids = list(scan.teids())
         assert _names(store, teids) == ["Napoli"]
 
     def test_value_pattern(self, setup):
@@ -39,22 +39,22 @@ class TestPatternScan:
         pattern = Pattern.from_path(
             "restaurant/name", value="Napoli", project_last=False
         )
-        assert len(PatternScan(fti, pattern).teids()) == 1
+        assert len(list(PatternScan(fti, pattern).teids())) == 1
         gone = Pattern.from_path(
             "restaurant/name", value="Akropolis", project_last=False
         )
-        assert PatternScan(fti, gone).teids() == []
+        assert list(PatternScan(fti, gone).teids()) == []
 
     def test_doc_restriction(self, setup):
         store, fti = setup
         store.put("other.com", "<guide><restaurant><name>Solo</name></restaurant></guide>")
         pattern = Pattern.from_path("restaurant")
-        unrestricted = PatternScan(fti, pattern).teids()
+        unrestricted = list(PatternScan(fti, pattern).teids())
         assert len(unrestricted) == 2
         restricted = PatternScan(
             fti, pattern, docs={store.doc_id("other.com")}
         ).teids()
-        assert len(restricted) == 1
+        assert len(list(restricted)) == 1
 
 
 class TestTPatternScan:
@@ -77,7 +77,7 @@ class TestTPatternScan:
         scan = TPatternScan(
             fti, Pattern.from_path("restaurant"), JAN_01 - 10, store=store
         )
-        assert scan.teids() == []
+        assert list(scan.teids()) == []
 
     def test_teids_normalized_to_version_commit(self, setup):
         store, fti = setup
@@ -98,7 +98,7 @@ class TestTPatternScanAll:
         scan = TPatternScanAll(
             fti, Pattern.from_path("restaurant"), store=store
         )
-        matches = scan.run()
+        matches = list(scan.run())
         # Napoli has one maximal interval; Akropolis another.
         assert len(matches) == 2
 
@@ -107,7 +107,7 @@ class TestTPatternScanAll:
         pattern = Pattern.from_path(
             "restaurant/name", value="Akropolis", project_last=False
         )
-        match = TPatternScanAll(fti, pattern, store=store).run()[0]
+        match = next(iter(TPatternScanAll(fti, pattern, store=store).run()))
         assert match.interval.start == JAN_15
         assert match.interval.end == JAN_31
 
@@ -117,10 +117,28 @@ class TestTPatternScanAll:
             "restaurant/name", value="Napoli", project_last=False
         )
         scan = TPatternScanAll(fti, pattern, store=store)
-        teids = scan.teids_per_version()
+        teids = list(scan.teids_per_version())
         assert [t.timestamp for t in teids] == [JAN_01, JAN_15, JAN_31]
         # All versions of the same element share the EID.
         assert len({t.eid for t in teids}) == 1
+
+    def test_history_teids_normalized_like_snapshot(self, setup):
+        # Regression: the history scan must push TEIDs through the same
+        # store normalization as the snapshot scan, so both variants hand
+        # out identical canonical TEIDs.
+        store, fti = setup
+        pattern = Pattern.from_path("restaurant")
+        history = list(TPatternScanAll(fti, pattern, store=store).teids())
+        assert history  # sanity
+        for teid in history:
+            assert store.normalize_teid(teid) == teid
+        # Same elements as the snapshot scan sees — the history variant
+        # anchors each at its first matching version instead of JAN_26's.
+        snapshot = list(
+            TPatternScan(fti, pattern, JAN_26, store=store).teids()
+        )
+        assert {t.eid for t in snapshot} == {t.eid for t in history}
+        assert [t.timestamp for t in history] == [JAN_01, JAN_15]
 
     def test_per_version_requires_store(self, setup):
         _store, fti = setup
@@ -133,7 +151,7 @@ class TestTPatternScanAll:
         pattern = Pattern.from_path(
             "restaurant/name", value="Atlantis", project_last=False
         )
-        assert TPatternScanAll(fti, pattern, store=store).run() == []
+        assert list(TPatternScanAll(fti, pattern, store=store).run()) == []
 
     def test_temporal_join_rejects_disjoint_combination(self, setup):
         store, fti = setup
@@ -147,4 +165,4 @@ class TestTPatternScanAll:
         root = pattern.nodes()[0]
         root.add(PatternNode("akropolis", kind="word", relationship="contains"))
         rebuilt = Pattern(root)
-        assert TPatternScanAll(fti, rebuilt, store=store).run() == []
+        assert list(TPatternScanAll(fti, rebuilt, store=store).run()) == []

@@ -65,7 +65,7 @@ class TestStructuralJoin:
         r = _posting(1, 2, (1,))
         n_child = _posting(1, 5, (1, 2))
         n_elsewhere = _posting(1, 7, (1, 3))
-        matches = structural_join(pattern, [[r], [n_child, n_elsewhere]])
+        matches = list(structural_join(pattern, [[r], [n_child, n_elsewhere]]))
         assert len(matches) == 1
         assert matches[0].postings[1].xid == 5
 
@@ -76,7 +76,7 @@ class TestStructuralJoin:
         r = _posting(1, 2, (1,))
         deep = _posting(1, 9, (1, 2, 4))
         outside = _posting(1, 10, (1, 3))
-        matches = structural_join(pattern, [[r], [deep, outside]])
+        matches = list(structural_join(pattern, [[r], [deep, outside]]))
         assert [m.postings[1].xid for m in matches] == [9]
 
     def test_containment_relationship(self):
@@ -87,29 +87,29 @@ class TestStructuralJoin:
         word_same = _posting(1, 5, (1, 2))
         word_below = _posting(1, 8, (1, 2, 5))
         word_outside = _posting(1, 9, (1, 2, 6))
-        matches = structural_join(
+        matches = list(structural_join(
             pattern, [[n], [word_same, word_below, word_outside]]
-        )
+        ))
         assert len(matches) == 2
 
     def test_document_must_match(self):
         pattern = self._pattern()
-        matches = structural_join(
+        matches = list(structural_join(
             pattern, [[_posting(1, 2, (1,))], [_posting(2, 5, (1, 2))]]
-        )
+        ))
         assert matches == []
 
     def test_empty_list_short_circuits(self):
         pattern = self._pattern()
-        assert structural_join(pattern, [[_posting(1, 2, (1,))], []]) == []
+        assert list(structural_join(pattern, [[_posting(1, 2, (1,))], []])) == []
 
     def test_temporal_intersection_required(self):
         pattern = self._pattern()
         r = _posting(1, 2, (1,), start=0, end=10)
         n = _posting(1, 5, (1, 2), start=10, end=20)
-        assert structural_join(pattern, [[r], [n]]) == []
+        assert list(structural_join(pattern, [[r], [n]])) == []
         n_overlap = _posting(1, 5, (1, 2), start=5, end=20)
-        matches = structural_join(pattern, [[r], [n_overlap]])
+        matches = list(structural_join(pattern, [[r], [n_overlap]]))
         assert matches[0].interval == Interval(5, 10)
 
     def test_wrong_list_count(self):
@@ -124,14 +124,14 @@ class TestStructuralJoin:
         # Two ordinal postings of the same word at the same element.
         w0 = _posting(1, 5, (1,))
         w1 = _posting(1, 5, (1,))
-        matches = structural_join(pattern, [[n], [w0, w1]])
+        matches = list(structural_join(pattern, [[n], [w0, w1]]))
         assert len(matches) == 1
 
     def test_teid_of_projected_node(self):
         pattern = Pattern.from_path("r/n", project_last=False)
         r = _posting(3, 2, (1,), start=50, end=100)
         n = _posting(3, 5, (1, 2), start=50, end=100)
-        match = structural_join(pattern, [[r], [n]])[0]
+        match = next(iter(structural_join(pattern, [[r], [n]])))
         teid = match.teid(pattern)
         assert (teid.doc_id, teid.xid, teid.timestamp) == (3, 2, 50)
         at = match.teid(pattern, at=75)
@@ -147,7 +147,7 @@ class TestAgainstRealIndex:
             "restaurant/name", value="Napoli", project_last=False
         )
         lists = [fti.lookup_t(n.term, JAN_26) for n in pattern.nodes()]
-        matches = structural_join(pattern, lists)
+        matches = list(structural_join(pattern, lists))
         assert len(matches) == 1
         restaurant = matches[0].postings[0]
         assert restaurant.path == "guide/restaurant"

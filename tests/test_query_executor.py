@@ -250,6 +250,70 @@ class TestResultSet:
         assert "R/name" in text and "Napoli" in text
 
 
+class TestLimit:
+    def test_limit_truncates(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R LIMIT 1'
+        )
+        assert len(result) == 1
+
+    def test_limit_zero(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R LIMIT 0'
+        )
+        assert len(result) == 0
+
+    def test_limit_beyond_rows_is_noop(self, figure1_db):
+        with_limit = figure1_db.query(
+            'SELECT TIME(R) FROM doc("guide.com")[EVERY]/restaurant R LIMIT 99'
+        )
+        without = figure1_db.query(
+            'SELECT TIME(R) FROM doc("guide.com")[EVERY]/restaurant R'
+        )
+        assert len(with_limit) == len(without) == 4
+
+    def test_limit_applies_after_distinct(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT DISTINCT R/name '
+            'FROM doc("guide.com")[EVERY]/restaurant R LIMIT 1'
+        )
+        assert len(result) == 1
+
+    def test_limit_on_aggregate_row(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT COUNT(R) FROM doc("guide.com")/restaurant R LIMIT 0'
+        )
+        assert len(result) == 0
+
+    def test_limit_preserves_order(self, figure1_db):
+        full = figure1_db.query(
+            'SELECT TIME(R) FROM doc("guide.com")[EVERY]/restaurant R'
+        )
+        limited = figure1_db.query(
+            'SELECT TIME(R) FROM doc("guide.com")[EVERY]/restaurant R LIMIT 2'
+        )
+        assert [r["TIME(R)"] for r in limited] == [
+            r["TIME(R)"] for r in full
+        ][:2]
+
+    def test_limit_stops_the_join_early(self, figure1_db):
+        # Snapshot scans stream end-to-end: LIMIT must stop the structural
+        # join before it emits (or even probes) the matches never taken.
+        stats = figure1_db.engine.join_stats
+        query = 'SELECT R FROM doc("guide.com")[26/01/2001]/restaurant R'
+
+        stats.reset()
+        figure1_db.query(query)
+        full_emitted = stats.matches_emitted
+        full_probed = stats.candidates_probed
+
+        stats.reset()
+        result = figure1_db.query(query + " LIMIT 1")
+        assert len(result) == 1
+        assert stats.matches_emitted < full_emitted
+        assert stats.candidates_probed < full_probed
+
+
 class TestPathApply:
     """The paper's Section 6.1 syntax: a path applied to a function result."""
 

@@ -111,6 +111,30 @@ class TestParserStructure:
         again = parse_query(q.label())
         assert again.label() == q.label()
 
+    def test_limit(self):
+        q = parse_query('SELECT R FROM doc("g")/r R LIMIT 3')
+        assert q.limit == 3
+
+    def test_limit_zero(self):
+        q = parse_query('SELECT R FROM doc("g")/r R LIMIT 0')
+        assert q.limit == 0
+
+    def test_no_limit_is_none(self):
+        q = parse_query('SELECT R FROM doc("g")/r R')
+        assert q.limit is None
+
+    def test_limit_after_where(self):
+        q = parse_query(
+            'SELECT R FROM doc("g")/r R WHERE R/name = "x" LIMIT 2'
+        )
+        assert q.limit == 2
+        assert q.where is not None
+
+    def test_limit_label_round_trip(self):
+        q = parse_query('SELECT R FROM doc("g")/r R LIMIT 5')
+        assert "LIMIT 5" in q.label()
+        assert parse_query(q.label()).limit == 5
+
 
 class TestParserExpressions:
     def _where(self, text):
@@ -199,6 +223,9 @@ class TestParserErrors:
             "SELECT X FROM doc(\"g\") R",  # unbound variable
             "SELECT R FROM doc(\"g\") R, doc(\"h\") R",  # duplicate var
             "SELECT TIME( FROM doc(\"g\") R",
+            "SELECT R FROM doc(\"g\") R LIMIT",
+            "SELECT R FROM doc(\"g\") R LIMIT 1.5",
+            "SELECT R FROM doc(\"g\") R LIMIT two",
         ],
     )
     def test_rejects(self, bad):
