@@ -75,6 +75,25 @@ def build_parser():
 
     docs = with_archive("ls", "list documents in the archive")
     docs.set_defaults(handler=_cmd_ls)
+
+    recover = sub.add_parser(
+        "recover",
+        help="recover a durable database directory (checkpoint + journal)",
+    )
+    recover.add_argument(
+        "-d", "--dir", required=True,
+        help="database directory (checkpoint.xml + journal.bin)",
+    )
+    recover.add_argument(
+        "--durability", default="journal",
+        choices=["none", "journal", "fsync"],
+        help="journal mode to reopen with after recovery",
+    )
+    recover.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="report only; do not write a fresh checkpoint",
+    )
+    recover.set_defaults(handler=_cmd_recover)
     return parser
 
 
@@ -190,6 +209,32 @@ def _cmd_history(args, out):
         )
     if dindex.is_deleted:
         print(f"deleted at {format_timestamp(dindex.deleted_at)}", file=out)
+    return 0
+
+
+def _cmd_recover(args, out):
+    db = TemporalXMLDatabase.open(args.dir, durability=args.durability)
+    report = db.recovery
+    print(f"recovered {report.documents} document(s) from {args.dir}", file=out)
+    print(f"checkpoint used: {report.checkpoint_source}", file=out)
+    for error in report.checkpoint_errors:
+        print(f"checkpoint skipped: {error}", file=out)
+    print(
+        f"journal records: {report.records_scanned} scanned, "
+        f"{report.records_replayed} replayed, "
+        f"{report.records_skipped} already checkpointed",
+        file=out,
+    )
+    if report.torn_tail:
+        print(
+            f"torn tail truncated: {report.records_truncated} region(s), "
+            f"{report.truncated_bytes} byte(s) dropped",
+            file=out,
+        )
+    if not args.no_checkpoint:
+        path = db.checkpoint()
+        print(f"fresh checkpoint written to {path}", file=out)
+    db.close()
     return 0
 
 

@@ -27,8 +27,19 @@ from .query.executor import QueryEngine, QueryOptions
 from .storage.store import TemporalDocumentStore
 
 
+#: Accepted ``durability`` knob values for :meth:`TemporalXMLDatabase.open`.
+DURABILITY_MODES = ("none", "journal", "fsync")
+
+
 class TemporalXMLDatabase:
     """Store + indexes + query engine, pre-wired."""
+
+    # Durable-mode attributes; plain in-memory databases keep the defaults.
+    data_dir = None
+    durability = "none"
+    journal = None
+    checkpointer = None
+    recovery = None
 
     def __init__(
         self,
@@ -114,6 +125,111 @@ class TemporalXMLDatabase:
             db.store, fti=db.fti, lifetime=db.lifetime, options=options
         )
         return db
+
+    # -- durable databases -------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        durability="journal",
+        snapshot_interval=None,
+        clustered=True,
+        options=None,
+        cache_size=0,
+        fs=None,
+    ):
+        """Open (creating or recovering) a crash-safe database directory.
+
+        The directory holds an atomic checkpoint (``checkpoint.xml``) plus
+        an append-only commit journal (``journal.bin``); opening always runs
+        recovery — loads the newest valid checkpoint, replays the journal
+        tail through the index observers, truncates a torn tail — and then
+        attaches the journal so every commit is logged.  The
+        :class:`~repro.storage.recover.RecoveryReport` is left on
+        ``db.recovery``.
+
+        ``durability`` selects the write-path cost (see
+        ``docs/DURABILITY.md``): ``"fsync"`` syncs the journal on every
+        commit, ``"journal"`` flushes without syncing, ``"none"`` keeps no
+        journal — only explicit :meth:`checkpoint` calls persist anything.
+        """
+        import os
+
+        from .errors import StorageError
+        from .index.fti import TemporalFullTextIndex
+        from .index.lifetime import LifetimeIndex
+        from .storage.checkpoint import JOURNAL_FILE, Checkpointer
+        from .storage.faults import REAL_FS
+        from .storage.journal import CommitJournal
+        from .storage.recover import recover_store
+
+        if durability not in DURABILITY_MODES:
+            raise StorageError(
+                f"unknown durability mode {durability!r}; "
+                f"expected one of {DURABILITY_MODES}"
+            )
+        os.makedirs(directory, exist_ok=True)
+        if fs is None:
+            fs = REAL_FS
+        db = cls.__new__(cls)
+        db.fti = TemporalFullTextIndex()
+        db.lifetime = LifetimeIndex()
+        db.store, db.recovery = recover_store(
+            directory,
+            observers=[db.fti, db.lifetime],
+            snapshot_interval=snapshot_interval,
+            clustered=clustered,
+            cache_size=cache_size,
+            fs=fs,
+        )
+        db.store.subscribe(db.fti)
+        db.store.subscribe(db.lifetime)
+        if options is None:
+            options = QueryOptions(lifetime_strategy="index")
+        db.engine = QueryEngine(
+            db.store, fti=db.fti, lifetime=db.lifetime, options=options
+        )
+        db.data_dir = str(directory)
+        db.durability = durability
+        if durability != "none":
+            db.journal = CommitJournal(
+                os.path.join(str(directory), JOURNAL_FILE),
+                fsync_policy="commit" if durability == "fsync" else "flush",
+                fs=fs,
+            )
+            db.store.attach_journal(db.journal)
+        db.checkpointer = Checkpointer(
+            db.store, directory, journal=db.journal, fs=fs
+        )
+        return db
+
+    def checkpoint(self):
+        """Write an atomic checkpoint and roll the journal (durable mode)."""
+        if self.checkpointer is None:
+            from .errors import StorageError
+
+            raise StorageError(
+                "database has no data directory; open it with "
+                "TemporalXMLDatabase.open() to checkpoint"
+            )
+        return self.checkpointer.checkpoint()
+
+    def close(self):
+        """Flush and close the journal (no-op for in-memory databases)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def durability_stats(self):
+        """Journal/checkpoint/recovery counters for the bench harness."""
+        return {
+            "durability": self.durability,
+            "journal": self.journal.stats.as_dict() if self.journal else None,
+            "checkpoints": (
+                self.checkpointer.stats.as_dict() if self.checkpointer else None
+            ),
+            "recovery": self.recovery.as_dict() if self.recovery else None,
+        }
 
     # -- conveniences ----------------------------------------------------------------
 

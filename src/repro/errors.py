@@ -55,6 +55,36 @@ class NoSuchDocumentError(StorageError):
     """Raised when a document name or identifier is unknown to the store."""
 
 
+class CorruptArchiveError(StorageError):
+    """Raised when a stored archive or checkpoint fails validation.
+
+    Covers unparsable files (wrapping the raw parser error with the file
+    path and offset), checksum mismatches, and journal/checkpoint
+    combinations that cannot reproduce a consistent store.  ``path`` and
+    ``offset`` locate the corruption when known.
+    """
+
+    def __init__(self, message, path=None, offset=None):
+        location = ""
+        if path is not None:
+            location += f" in {path!r}"
+        if offset is not None:
+            location += f" at byte offset {offset}"
+        super().__init__(message + location)
+        self.path = path
+        self.offset = offset
+
+
+class TornJournalError(CorruptArchiveError):
+    """Raised (in strict verification only) when a commit journal ends in a
+    torn or corrupted record.
+
+    Recovery never raises this for a torn *tail* — it truncates the tail
+    instead — so this surfaces only through :func:`~repro.storage.journal.verify_journal`
+    or when a journal's header is not a journal header at all.
+    """
+
+
 class NoSuchVersionError(StorageError):
     """Raised when a requested version/timestamp does not exist."""
 

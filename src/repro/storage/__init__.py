@@ -11,23 +11,56 @@ that counts page reads, writes, and seeks — the currency in which the paper
 reasons about operator cost ("each delta read will involve a disk seek in
 the worst case").
 
+Durability lives alongside the simulator: the append-only
+:class:`~repro.storage.journal.CommitJournal`, the atomic
+:class:`~repro.storage.checkpoint.Checkpointer`, crash recovery
+(:func:`~repro.storage.recover.recover_store`), and the fault-injecting
+filesystem shim (:mod:`~repro.storage.faults`) that proves them — see
+``docs/DURABILITY.md``.
+
 The logical entry point is
 :class:`~repro.storage.store.TemporalDocumentStore`.
 """
 
 from .cache import CacheStats, VersionCache
+from .checkpoint import Checkpointer, CheckpointStats
+from .faults import CrashError, FaultyFS, OSFileSystem, REAL_FS, flip_bit
+from .journal import (
+    CommitJournal,
+    JournalRecord,
+    JournalScan,
+    JournalStats,
+    scan_journal,
+    verify_journal,
+)
 from .page import DiskSimulator, Extent
 from .deltaindex import DeltaIndex, VersionEntry
+from .recover import RecoveryReport, recover_store
 from .repository import Repository
 from .store import CommitEvent, TemporalDocumentStore
 
 __all__ = [
     "CacheStats",
     "VersionCache",
+    "Checkpointer",
+    "CheckpointStats",
+    "CrashError",
+    "FaultyFS",
+    "OSFileSystem",
+    "REAL_FS",
+    "flip_bit",
+    "CommitJournal",
+    "JournalRecord",
+    "JournalScan",
+    "JournalStats",
+    "scan_journal",
+    "verify_journal",
     "DiskSimulator",
     "Extent",
     "DeltaIndex",
     "VersionEntry",
+    "RecoveryReport",
+    "recover_store",
     "Repository",
     "TemporalDocumentStore",
     "CommitEvent",

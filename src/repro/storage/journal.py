@@ -1,0 +1,359 @@
+"""Append-only commit journal: write-ahead durability for the store.
+
+The store's delta-chain model is naturally append-only — every commit adds
+one completed delta (or a whole new document, or a deletion mark) and never
+rewrites history — so a log of :class:`~repro.storage.store.CommitEvent`
+records *is* a faithful serialization of everything that happened since the
+last checkpoint.  :class:`CommitJournal` subscribes to a
+:class:`~repro.storage.store.TemporalDocumentStore` and appends one record
+per commit; recovery (:mod:`~repro.storage.recover`) replays the tail of
+that log on top of the newest valid checkpoint.
+
+**On-disk format.**  An 8-byte magic header (``TXJRNL1\\n``) followed by
+length-prefixed records::
+
+    +----------------+----------------+---------------------+
+    | length (u32 BE) | crc32 (u32 BE) | payload (length B)  |
+    +----------------+----------------+---------------------+
+
+The payload is the compact UTF-8 XML of one ``<j>`` element carrying the
+commit metadata (kind, doc id, name, version, timestamp, XID-allocator
+state) plus, as its only child, the stamped initial tree (creates, in the
+edit-script payload encoding) or the completed delta (updates, the
+``<delta>`` closure form).  The CRC covers the payload, so a torn append or
+a flipped bit is detected record-by-record and the scan stops at the first
+invalid one — everything before it is intact by construction.
+
+``fsync_policy`` selects the durability/latency trade:
+
+``"commit"``
+    flush + ``fsync`` after every record — a crash loses nothing that was
+    acknowledged (the ``durability="fsync"`` knob).
+
+``"flush"``
+    flush to the OS after every record, ``fsync`` only at checkpoints and
+    on ``close()`` — a crash of the *process* loses nothing, a crash of
+    the *machine* may lose the un-synced suffix (``durability="journal"``).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from ..diff.editscript import EditScript, decode_payload, encode_payload
+from ..errors import StorageError, TornJournalError, XMLSyntaxError
+from ..xmlcore.node import Element
+from ..xmlcore.parser import parse
+from ..xmlcore.serializer import serialize
+from .faults import REAL_FS
+
+#: Journal file magic; also the version gate for the record format.
+MAGIC = b"TXJRNL1\n"
+
+_FRAME = struct.Struct(">II")  # record length, payload crc32
+
+#: Record kinds the journal understands.
+KINDS = ("create", "update", "delete", "snapshot")
+
+
+@dataclass
+class JournalStats:
+    """Counters exposed for the bench harness and the CLI."""
+
+    records_written: int = 0
+    bytes_written: int = 0
+    fsyncs: int = 0
+    rolls: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def as_dict(self):
+        return {
+            "records_written": self.records_written,
+            "bytes_written": self.bytes_written,
+            "fsyncs": self.fsyncs,
+            "rolls": self.rolls,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+@dataclass
+class JournalRecord:
+    """One journaled commit (or snapshot materialization)."""
+
+    kind: str
+    doc_id: int
+    name: str
+    version: int
+    ts: int
+    nextxid: int = None
+    body: object = None  # stamped tree (create) / <delta> element (update)
+
+    def to_payload(self):
+        """Encode as compact XML bytes (the CRC-protected record payload)."""
+        element = Element(
+            "j",
+            {
+                "kind": self.kind,
+                "doc": str(self.doc_id),
+                "name": self.name,
+                "version": str(self.version),
+                "ts": str(self.ts),
+            },
+        )
+        if self.nextxid is not None:
+            element.set("nextxid", str(self.nextxid))
+        if self.body is not None:
+            element.append(self.body)
+        return serialize(element).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Decode a record payload; raises :class:`StorageError` when the
+        bytes are valid XML but not a journal record."""
+        element = parse(payload.decode("utf-8"))
+        if element.tag != "j":
+            raise StorageError(f"not a journal record: <{element.tag}>")
+        kind = element.get("kind")
+        if kind not in KINDS:
+            raise StorageError(f"unknown journal record kind {kind!r}")
+        children = element.child_elements()
+        nextxid = element.get("nextxid")
+        return cls(
+            kind=kind,
+            doc_id=int(element.get("doc")),
+            name=element.get("name"),
+            version=int(element.get("version")),
+            ts=int(element.get("ts")),
+            nextxid=int(nextxid) if nextxid is not None else None,
+            body=children[0] if children else None,
+        )
+
+    # -- body decoding helpers (used by recovery) ---------------------------
+
+    def initial_tree(self):
+        """The stamped version-1 tree of a ``create`` record."""
+        return decode_payload(self.body)
+
+    def script(self):
+        """The completed :class:`EditScript` of an ``update`` record."""
+        return EditScript.from_xml(self.body)
+
+
+class CommitJournal:
+    """Store observer that appends every commit to the journal file.
+
+    Attach with :meth:`TemporalDocumentStore.attach_journal` (or ``bind`` +
+    ``subscribe`` manually); the store reference is needed to capture the
+    per-document XID-allocator state alongside each record, which recovery
+    restores exactly.
+    """
+
+    def __init__(self, path, fsync_policy="commit", fs=None):
+        if fsync_policy not in ("commit", "flush"):
+            raise StorageError(
+                f"unknown journal fsync policy {fsync_policy!r}"
+            )
+        self.path = str(path)
+        self.fsync_policy = fsync_policy
+        self.fs = fs if fs is not None else REAL_FS
+        self.stats = JournalStats()
+        self._store = None
+        self._handle = None
+        self._open()
+
+    def _open(self):
+        fs = self.fs
+        if fs.exists(self.path):
+            size = fs.size(self.path)
+            if 0 < size < len(MAGIC):
+                # A crash tore the header itself; nothing to preserve.
+                fs.truncate(self.path, 0)
+            elif size >= len(MAGIC):
+                head = fs.read_bytes(self.path)[: len(MAGIC)]
+                if head != MAGIC:
+                    raise TornJournalError(
+                        "file is not a commit journal (bad magic); "
+                        "run recovery before reopening",
+                        path=self.path,
+                        offset=0,
+                    )
+        self._handle = fs.open_append(self.path)
+        if self._handle.tell() == 0:
+            fs.write(self._handle, MAGIC)
+            self._sync_or_flush()
+
+    # -- observer protocol ---------------------------------------------------
+
+    def bind(self, store):
+        """Remember the store so appends can capture allocator state."""
+        self._store = store
+        return self
+
+    def document_committed(self, event):
+        """Append the journal record(s) for one commit event."""
+        nextxid = None
+        repository = self._store.repository if self._store is not None else None
+        if repository is not None:
+            record = repository.record(event.doc_id)
+            nextxid = record.allocator.next_xid
+        if event.kind == "create":
+            body = encode_payload(event.root)
+        elif event.kind == "update":
+            body = event.script.to_xml()
+        else:  # delete
+            body = None
+        self.append(
+            JournalRecord(
+                kind=event.kind,
+                doc_id=event.doc_id,
+                name=event.name,
+                version=event.version_number,
+                ts=event.timestamp,
+                nextxid=nextxid,
+                body=body,
+            )
+        )
+        # Intermediate snapshots materialized by this commit are journaled
+        # too, so recovery rebuilds the same physical layout.
+        if (
+            event.kind == "update"
+            and repository is not None
+            and event.version_number in record.snapshots
+        ):
+            self.append(
+                JournalRecord(
+                    kind="snapshot",
+                    doc_id=event.doc_id,
+                    name=event.name,
+                    version=event.version_number,
+                    ts=event.timestamp,
+                )
+            )
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record):
+        """Frame, checksum, and append one record per the fsync policy."""
+        payload = record.to_payload()
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        self.fs.write(self._handle, frame + payload)
+        self._sync_or_flush()
+        self.stats.records_written += 1
+        self.stats.bytes_written += len(frame) + len(payload)
+        self.stats.by_kind[record.kind] = (
+            self.stats.by_kind.get(record.kind, 0) + 1
+        )
+
+    def _sync_or_flush(self):
+        if self.fsync_policy == "commit":
+            self.fs.fsync(self._handle)
+            self.stats.fsyncs += 1
+        else:
+            self.fs.flush(self._handle)
+
+    def sync(self):
+        """Force everything appended so far to stable storage."""
+        self.fs.fsync(self._handle)
+        self.stats.fsyncs += 1
+
+    def roll(self, prev_path=None):
+        """Rotate after a checkpoint: archive the full journal and start
+        fresh.  The rotated generation (``<path>.prev`` by default) is kept
+        for one checkpoint cycle so recovery can fall back to the previous
+        checkpoint without losing its tail."""
+        self.sync()
+        self.fs.close(self._handle)
+        self._handle = None
+        prev = str(prev_path) if prev_path is not None else self.path + ".prev"
+        self.fs.replace(self.path, prev)
+        self._open()
+        self.stats.rolls += 1
+
+    def close(self):
+        if self._handle is not None:
+            self.sync()
+            self.fs.close(self._handle)
+            self._handle = None
+
+
+# -- reading -----------------------------------------------------------------
+
+
+@dataclass
+class JournalScan:
+    """Result of a tolerant journal scan.
+
+    ``records`` are the decoded valid records in append order;
+    ``valid_size`` is the byte offset the file should be truncated to when
+    the tail is torn; ``torn`` tells whether anything after that offset had
+    to be dropped, with ``reason`` saying why the scan stopped.
+    """
+
+    records: list
+    valid_size: int
+    total_size: int
+    torn: bool
+    reason: str = ""
+
+    @property
+    def dropped_bytes(self):
+        return self.total_size - self.valid_size
+
+
+def scan_journal(path, fs=None):
+    """Read a journal, stopping (not failing) at the first invalid record.
+
+    A missing file scans as empty.  Records before the first length/CRC
+    violation are returned; everything at and after it is reported via
+    ``torn``/``valid_size`` so recovery can truncate the tail.
+    """
+    fs = fs if fs is not None else REAL_FS
+    if not fs.exists(path):
+        return JournalScan([], 0, 0, torn=False, reason="missing")
+    data = fs.read_bytes(path)
+    if not data:
+        return JournalScan([], 0, 0, torn=False, reason="empty")
+    if len(data) < len(MAGIC) or data[: len(MAGIC)] != MAGIC:
+        return JournalScan([], 0, len(data), torn=True, reason="bad header")
+    records = []
+    offset = len(MAGIC)
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            return JournalScan(
+                records, offset, len(data), torn=True, reason="torn frame"
+            )
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        payload = data[start : start + length]
+        if len(payload) < length:
+            return JournalScan(
+                records, offset, len(data), torn=True, reason="torn payload"
+            )
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return JournalScan(
+                records, offset, len(data), torn=True,
+                reason="checksum mismatch",
+            )
+        try:
+            records.append(JournalRecord.from_payload(payload))
+        except (StorageError, XMLSyntaxError, ValueError):
+            return JournalScan(
+                records, offset, len(data), torn=True, reason="bad record"
+            )
+        offset = start + length
+    return JournalScan(records, offset, len(data), torn=False, reason="clean")
+
+
+def verify_journal(path, fs=None):
+    """Strict scan: returns the records or raises :class:`TornJournalError`."""
+    scan = scan_journal(path, fs=fs)
+    if scan.torn:
+        raise TornJournalError(
+            f"journal {scan.reason}; {scan.dropped_bytes} trailing bytes "
+            "unreadable",
+            path=str(path),
+            offset=scan.valid_size,
+        )
+    return scan.records

@@ -15,30 +15,51 @@ of it:
 
 Trees are encoded with the edit-script payload encoding, so XIDs and
 element timestamps survive the round trip exactly.
+
+**Durability.**  Archives double as the *checkpoints* of the crash-safe
+persistence subsystem (``docs/DURABILITY.md``), so writing and reading are
+hardened:
+
+* file writes are **atomic** — temp file in the same directory, ``fsync``,
+  ``os.replace``, directory sync — so a crash mid-checkpoint leaves the
+  previous archive untouched;
+* every ``<document>`` element carries a ``checksum`` attribute (CRC32 of
+  its canonical serialization) and the file ends in a whole-file CRC32
+  footer comment; :func:`load_store` verifies both and raises
+  :class:`~repro.errors.CorruptArchiveError` naming the file and offset;
+* unparsable input (truncated tail, garbage bytes) is wrapped in
+  :class:`~repro.errors.CorruptArchiveError` instead of surfacing raw
+  parser errors.
 """
 
 from __future__ import annotations
 
+import os
+import re
+import zlib
+
 from ..clock import LogicalClock
 from ..diff.apply import apply_script
 from ..diff.editscript import EditScript, decode_payload, encode_payload
-from ..errors import StorageError
+from ..errors import CorruptArchiveError, StorageError, XMLSyntaxError
 from ..model.identifiers import XIDAllocator
-from ..xmlcore.node import Element
+from ..xmlcore.node import Element, Text
 from ..xmlcore.parser import parse
 from ..xmlcore.serializer import serialize
 from .deltaindex import VersionEntry
+from .faults import REAL_FS
 from .store import CommitEvent, TemporalDocumentStore
 
 FORMAT_VERSION = "1"
 
+_CRC_FOOTER = re.compile(rb"\n<!--crc32:([0-9a-f]{8})-->\s*$")
 
-def dump_store(store, path=None):
-    """Serialize ``store`` to an archive tree (and optionally a file).
 
-    Returns the archive as an :class:`Element`; when ``path`` is given the
-    pretty-printed XML is also written there.
-    """
+def build_archive(store):
+    """Serialize ``store`` to an archive tree (pure; no I/O).
+
+    Each ``<document>`` element gets a ``checksum`` attribute so corruption
+    is localized to a document on load."""
     archive = Element(
         "temporalstore",
         {
@@ -74,27 +95,65 @@ def dump_store(store, path=None):
             snapshot = Element("snapshot", {"number": str(number)})
             snapshot.append(encode_payload(record.snapshots[number]))
             doc.append(snapshot)
+        doc.set("checksum", f"{document_checksum(doc):08x}")
         archive.append(doc)
-
-    if path is not None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(serialize(archive, indent=1))
     return archive
 
 
-def load_store(source, snapshot_interval=None, clustered=True, cache_size=0):
+def archive_bytes(archive):
+    """Pretty-printed archive bytes with the whole-file CRC32 footer."""
+    body = serialize(archive, indent=1).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return body + f"\n<!--crc32:{crc:08x}-->\n".encode("ascii")
+
+
+def atomic_write_bytes(path, data, fs=None):
+    """Write ``data`` to ``path`` atomically: temp file + fsync + replace."""
+    fs = fs if fs is not None else REAL_FS
+    path = str(path)
+    tmp = path + ".tmp"
+    handle = fs.open_write(tmp)
+    fs.write(handle, data)
+    fs.fsync(handle)
+    fs.close(handle)
+    fs.replace(tmp, path)
+    fs.fsync_dir(os.path.dirname(os.path.abspath(path)) or ".")
+
+
+def dump_store(store, path=None, fs=None):
+    """Serialize ``store`` to an archive tree (and optionally a file).
+
+    Returns the archive as an :class:`Element`; when ``path`` is given the
+    checksummed XML is also written there, atomically.
+    """
+    archive = build_archive(store)
+    if path is not None:
+        atomic_write_bytes(path, archive_bytes(archive), fs=fs)
+    return archive
+
+
+def load_store(
+    source,
+    snapshot_interval=None,
+    clustered=True,
+    cache_size=0,
+    verify=True,
+    fs=None,
+):
     """Rebuild a store from an archive (a path, XML text, or Element).
 
     Document ids, XIDs, version numbers, timestamps, and content are
-    restored exactly.  Indexes are *not* rebuilt here — attach observers and
-    call :func:`replay_history` (or use
-    :meth:`repro.db.TemporalXMLDatabase.load`)."""
-    archive = _as_archive(source)
+    restored exactly.  ``verify`` (default) checks the whole-file CRC
+    footer and the per-document ``checksum`` attributes when present;
+    archives written before checksums existed still load.  Indexes are
+    *not* rebuilt here — attach observers and call :func:`replay_history`
+    (or use :meth:`repro.db.TemporalXMLDatabase.load`)."""
+    archive, path = _as_archive(source, verify=verify, fs=fs)
     if archive.get("format") != FORMAT_VERSION:
         raise StorageError(
             f"unsupported archive format {archive.get('format')!r}"
         )
-    clock_now = int(archive.get("clock", "0"))
+    clock_now = _int_field(archive, "clock", "archive clock", path, default=0)
     store = TemporalDocumentStore(
         clock=LogicalClock(start=clock_now),
         snapshot_interval=snapshot_interval,
@@ -106,7 +165,16 @@ def load_store(source, snapshot_interval=None, clustered=True, cache_size=0):
     for doc in archive.child_elements():
         if doc.tag != "document":
             raise StorageError(f"unexpected archive element <{doc.tag}>")
-        record = _load_document(repository, doc)
+        stored_crc = doc.get("checksum")
+        if verify and stored_crc is not None:
+            actual = document_checksum(doc)
+            if stored_crc != f"{actual:08x}":
+                raise CorruptArchiveError(
+                    f"document {doc.get('name')!r} failed its checksum "
+                    f"(stored {stored_crc}, computed {actual:08x})",
+                    path=path,
+                )
+        record = _load_document(repository, doc, path)
         store._by_name[record.name] = record
         highest_doc_id = max(highest_doc_id, record.doc_id)
     repository._next_doc_id = highest_doc_id + 1
@@ -152,28 +220,128 @@ def _document_events(store, record):
         )
 
 
+# -- checksums ----------------------------------------------------------------
+
+
+def document_checksum(doc):
+    """CRC32 of a ``<document>`` element's canonical serialization.
+
+    Canonical means the form the parser reproduces: compact output with
+    whitespace-only text runs dropped (pretty-printing inserts them; the
+    parser strips them).  The ``checksum`` attribute itself is excluded, so
+    the value is stable across write → parse → verify."""
+    clone = doc.copy()
+    clone.attrib.pop("checksum", None)
+    _strip_whitespace_runs(clone)
+    return zlib.crc32(serialize(clone).encode("utf-8")) & 0xFFFFFFFF
+
+
+def _strip_whitespace_runs(element):
+    """Drop text runs that are entirely whitespace, as the parser does."""
+    kept = []
+    run = []
+
+    def flush():
+        if run and "".join(t.value for t in run).strip():
+            kept.extend(run)
+        run.clear()
+
+    for child in element.children:
+        if isinstance(child, Text):
+            run.append(child)
+        else:
+            flush()
+            _strip_whitespace_runs(child)
+            kept.append(child)
+    flush()
+    element.children[:] = kept
+
+
 # -- loading internals ---------------------------------------------------------
 
 
-def _as_archive(source):
+def _as_archive(source, verify=True, fs=None):
+    """Resolve ``source`` to ``(archive element, path or None)``."""
     if isinstance(source, Element):
-        return source
+        return source, None
+    path = None
     if isinstance(source, str) and source.lstrip().startswith("<"):
-        return parse(source)
-    with open(source, "r", encoding="utf-8") as handle:
-        return parse(handle.read())
+        data = source.encode("utf-8")
+    else:
+        path = str(source)
+        fs = fs if fs is not None else REAL_FS
+        data = fs.read_bytes(path)
+    if verify:
+        _verify_file_crc(data, path)
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CorruptArchiveError(
+            f"archive is not UTF-8 text ({exc.reason})",
+            path=path,
+            offset=exc.start,
+        ) from exc
+    try:
+        return parse(text), path
+    except XMLSyntaxError as exc:
+        raise CorruptArchiveError(
+            f"unparsable archive: {exc}",
+            path=path,
+            offset=_line_col_offset(text, exc.line, exc.column),
+        ) from exc
 
 
-def _load_document(repository, doc):
+def _verify_file_crc(data, path):
+    """Check the whole-file footer when present (older archives lack it)."""
+    match = _CRC_FOOTER.search(data)
+    if match is None:
+        return
+    body = data[: match.start()]
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    stored = int(match.group(1), 16)
+    if actual != stored:
+        raise CorruptArchiveError(
+            f"archive failed its whole-file checksum (stored "
+            f"{stored:08x}, computed {actual:08x})",
+            path=path,
+        )
+
+
+def _line_col_offset(text, line, column):
+    """Byte-ish offset of a 1-based line/column position (for messages)."""
+    if line is None:
+        return None
+    lines = text.split("\n")
+    offset = sum(len(l) + 1 for l in lines[: line - 1])
+    return offset + (column - 1 if column else 0)
+
+
+def _int_field(element, name, what, path, default=None):
+    raw = element.get(name)
+    if raw is None:
+        if default is not None:
+            return default
+        raise CorruptArchiveError(f"{what} is missing", path=path)
+    try:
+        return int(raw)
+    except ValueError:
+        raise CorruptArchiveError(
+            f"{what} is not an integer: {raw!r}", path=path
+        ) from None
+
+
+def _load_document(repository, doc, path=None):
     record = repository.create(doc.get("name"))
     # create() assigned a sequential id; restore the archived one.
-    archived_id = int(doc.get("id"))
+    archived_id = _int_field(doc, "id", "document id", path)
     del repository._records[record.doc_id]
     record.doc_id = archived_id
     if archived_id in repository._records:
         raise StorageError(f"duplicate document id {archived_id} in archive")
     repository._records[archived_id] = record
-    record.allocator = XIDAllocator(int(doc.get("nextxid")))
+    record.allocator = XIDAllocator(
+        _int_field(doc, "nextxid", f"document {record.name!r} nextxid", path)
+    )
 
     deltas = {}
     snapshots = {}
@@ -181,16 +349,21 @@ def _load_document(repository, doc):
     for child in doc.child_elements():
         if child.tag == "version":
             record.dindex.append(
-                VersionEntry(int(child.get("number")), int(child.get("ts")))
+                VersionEntry(
+                    _int_field(child, "number", "version number", path),
+                    _int_field(child, "ts", "version timestamp", path),
+                )
             )
         elif child.tag == "delta":
-            deltas[int(child.get("forversion"))] = EditScript.from_xml(child)
+            deltas[
+                _int_field(child, "forversion", "delta version", path)
+            ] = EditScript.from_xml(child)
         elif child.tag == "current":
             current_root = decode_payload(child.child_elements()[0])
         elif child.tag == "snapshot":
-            snapshots[int(child.get("number"))] = decode_payload(
-                child.child_elements()[0]
-            )
+            snapshots[
+                _int_field(child, "number", "snapshot number", path)
+            ] = decode_payload(child.child_elements()[0])
         else:
             raise StorageError(f"unexpected archive element <{child.tag}>")
     if current_root is None:

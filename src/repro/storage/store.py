@@ -76,6 +76,7 @@ class TemporalDocumentStore:
         )
         self._by_name = {}
         self._observers = []
+        self.journal = None  # set by attach_journal()
 
     @property
     def disk(self):
@@ -95,6 +96,13 @@ class TemporalDocumentStore:
     def _notify(self, event):
         for observer in self._observers:
             observer.document_committed(event)
+
+    def attach_journal(self, journal):
+        """Bind and subscribe a :class:`~repro.storage.journal.CommitJournal`
+        so every commit is appended durably; returns the journal."""
+        journal.bind(self)
+        self.journal = journal
+        return self.subscribe(journal)
 
     # -- commit paths --------------------------------------------------------------
 

@@ -111,6 +111,54 @@ class TestDemo:
         assert "Akropolis" in out
 
 
+class TestRecover:
+    def _durable_db(self, tmp_path):
+        from repro import TemporalXMLDatabase
+
+        db = TemporalXMLDatabase.open(tmp_path / "db", durability="journal")
+        db.put(
+            "guide.com",
+            "<guide><restaurant><name>Napoli</name><price>15</price>"
+            "</restaurant></guide>",
+        )
+        db.checkpoint()
+        db.update(
+            "guide.com",
+            "<guide><restaurant><name>Napoli</name><price>18</price>"
+            "</restaurant></guide>",
+        )
+        db.close()
+        return tmp_path / "db"
+
+    def test_recover_reports_and_checkpoints(self, tmp_path):
+        directory = self._durable_db(tmp_path)
+        code, out = _run("recover", "-d", str(directory))
+        assert code == 0
+        assert "recovered 1 document(s)" in out
+        assert "checkpoint used: checkpoint" in out
+        assert "journal records:" in out
+        # The journal tail was folded into a fresh checkpoint and rolled.
+        code, out = _run("recover", "-d", str(directory))
+        assert code == 0
+        assert "0 replayed" in out
+
+    def test_recover_truncates_torn_tail(self, tmp_path):
+        directory = self._durable_db(tmp_path)
+        journal = directory / "journal.bin"
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-5])
+        code, out = _run(
+            "recover", "-d", str(directory), "--no-checkpoint"
+        )
+        assert code == 0
+        assert "torn tail" in out
+
+    def test_recover_missing_directory(self, tmp_path):
+        code, out = _run("recover", "-d", str(tmp_path / "fresh"))
+        assert code == 0
+        assert "recovered 0 document(s)" in out
+
+
 class TestExplain:
     def test_cli_explain(self, guide_files):
         archive, v1, _v2 = guide_files

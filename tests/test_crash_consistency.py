@@ -1,0 +1,201 @@
+"""Crash-consistency matrix: every injected crash point must recover cleanly.
+
+The contract under test (ISSUE 3 acceptance): for **every** mutating
+filesystem operation k in a scripted workload, crashing at k and then
+recovering must yield a store whose commit history is an exact **prefix**
+of the uncrashed run's history — same commits, same timestamps, and every
+surviving version byte-identical — and recovery must never raise on a torn
+tail.  The workload covers document creation, updates, deletion, and two
+checkpoints, so crash points land inside journal appends, fsyncs, atomic
+checkpoint writes, renames, and journal rolls.
+"""
+
+import pytest
+
+from repro import TemporalXMLDatabase
+from repro.errors import CorruptArchiveError
+from repro.storage.faults import CrashError, FaultyFS, flip_bit
+from repro.xmlcore import serialize
+
+A1 = "<doc><x>alpha one</x><y>beta</y></doc>"
+A2 = "<doc><x>alpha two</x><y>beta</y><z>gamma</z></doc>"
+A3 = "<doc><x>alpha three</x><z>gamma delta</z></doc>"
+A4 = "<doc><x>alpha four</x></doc>"
+B1 = "<doc><m>mu one</m></doc>"
+B2 = "<doc><m>mu two</m><n>nu</n></doc>"
+C1 = "<doc><p>pi one</p></doc>"
+C2 = "<doc><p>pi two</p><q>chi</q></doc>"
+
+
+def run_workload(db):
+    """Deterministic commits + checkpoints (9 commits, 2 checkpoints)."""
+    db.put("a.xml", A1)
+    db.put("b.xml", B1)
+    db.update("a.xml", A2)
+    db.update("b.xml", B2)
+    db.checkpoint()
+    db.update("a.xml", A3)
+    db.put("c.xml", C1)
+    db.delete("b.xml")
+    db.checkpoint()
+    db.update("c.xml", C2)
+    db.update("a.xml", A4)
+
+
+def commit_history(store):
+    """The store's commit sequence as (kind, name, version, ts) tuples."""
+    events = []
+    for record in store.repository.records():
+        entries = record.dindex.entries
+        events.append(("create", record.name, 1, entries[0].timestamp))
+        for entry in entries[1:]:
+            events.append(("update", record.name, entry.number, entry.timestamp))
+        if record.dindex.deleted_at is not None:
+            events.append(
+                (
+                    "delete",
+                    record.name,
+                    record.dindex.current_number,
+                    record.dindex.deleted_at,
+                )
+            )
+    events.sort(key=lambda event: event[3])
+    return events
+
+
+def version_contents(store):
+    """Byte content of every version of every document."""
+    contents = {}
+    for record in store.repository.records():
+        for entry in record.dindex.entries:
+            contents[(record.name, entry.number)] = serialize(
+                store.version(record.doc_id, entry.number)
+            )
+    return contents
+
+
+def reference_run(tmp_path, durability):
+    """Uncrashed run; returns (expected history, contents, total fs ops)."""
+    fs = FaultyFS()  # counts ops, never crashes
+    db = TemporalXMLDatabase.open(
+        tmp_path / "reference", durability=durability, fs=fs
+    )
+    run_workload(db)
+    db.close()
+    return commit_history(db.store), version_contents(db.store), fs.ops
+
+
+def assert_recovers_to_prefix(directory, expected, contents):
+    """Recovery must not raise and must yield an exact history prefix."""
+    db = TemporalXMLDatabase.open(directory, durability="journal")
+    try:
+        got = commit_history(db.store)
+        assert got == expected[: len(got)], (
+            f"recovered history is not a prefix: {got}"
+        )
+        recovered = version_contents(db.store)
+        for key, data in recovered.items():
+            assert data == contents[key], f"content diverged for {key}"
+        return len(got), db.recovery
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("durability", ["fsync", "journal"])
+def test_crash_matrix(tmp_path, durability):
+    expected, contents, total_ops = reference_run(tmp_path, durability)
+    assert len(expected) == 9
+    assert total_ops >= 30, (
+        f"workload exposes only {total_ops} crash points; need >= 30"
+    )
+
+    prefix_lengths = set()
+    for k in range(1, total_ops + 1):
+        directory = tmp_path / f"crash-{durability}-{k}"
+        fs = FaultyFS(crash_at=k)
+        try:
+            db = TemporalXMLDatabase.open(
+                directory, durability=durability, fs=fs
+            )
+            run_workload(db)
+            db.close()
+            raise AssertionError(
+                f"crash point {k} never fired (>{fs.ops} ops?)"
+            )
+        except CrashError:
+            pass
+        survived, _report = assert_recovers_to_prefix(
+            directory, expected, contents
+        )
+        prefix_lengths.add(survived)
+
+    # The matrix must actually exercise partial histories, not just the
+    # trivial endpoints.
+    assert len(prefix_lengths) >= 4
+    assert max(prefix_lengths) <= len(expected)
+
+
+def test_torn_write_fractions(tmp_path):
+    """Different tear points within the crashing write all stay consistent."""
+    expected, contents, total_ops = reference_run(tmp_path, "fsync")
+    # Crash inside journal appends and the checkpoint write with varying
+    # amounts of the in-flight buffer reaching disk.
+    for fraction in (0.0, 0.3, 0.9):
+        for k in (3, 7, 12, 19, 25, total_ops - 2):
+            directory = tmp_path / f"torn-{fraction}-{k}"
+            fs = FaultyFS(crash_at=k, torn_fraction=fraction)
+            try:
+                db = TemporalXMLDatabase.open(
+                    directory, durability="fsync", fs=fs
+                )
+                run_workload(db)
+                db.close()
+            except CrashError:
+                pass
+            assert_recovers_to_prefix(directory, expected, contents)
+
+
+class TestSilentCorruption:
+    def _clean_run(self, tmp_path):
+        db = TemporalXMLDatabase.open(tmp_path / "db", durability="fsync")
+        run_workload(db)
+        db.close()
+        return (
+            tmp_path / "db",
+            commit_history(db.store),
+            version_contents(db.store),
+        )
+
+    def test_bit_flip_in_journal_truncates_to_prefix(self, tmp_path):
+        directory, expected, contents = self._clean_run(tmp_path)
+        journal = directory / "journal.bin"
+        # Flip a bit inside the first record after the rolled generation.
+        flip_bit(str(journal), 20)
+        survived, report = assert_recovers_to_prefix(
+            str(directory), expected, contents
+        )
+        assert report.torn_tail
+        assert report.records_truncated >= 1
+        assert survived < len(expected)
+
+    def test_bit_flip_in_checkpoint_falls_back(self, tmp_path):
+        directory, expected, contents = self._clean_run(tmp_path)
+        checkpoint = directory / "checkpoint.xml"
+        flip_bit(str(checkpoint), checkpoint.stat().st_size // 2)
+        survived, report = assert_recovers_to_prefix(
+            str(directory), expected, contents
+        )
+        # Previous checkpoint + both journal generations cover everything.
+        assert survived == len(expected)
+        assert report.checkpoint_source in ("previous", "none")
+        assert report.checkpoint_errors
+
+    def test_both_checkpoints_corrupt_is_detected(self, tmp_path):
+        directory, expected, contents = self._clean_run(tmp_path)
+        for name in ("checkpoint.xml", "checkpoint.xml.prev"):
+            path = directory / name
+            flip_bit(str(path), path.stat().st_size // 2)
+        # History before the first checkpoint is gone; recovery must say
+        # so loudly instead of fabricating a partial store.
+        with pytest.raises(CorruptArchiveError):
+            TemporalXMLDatabase.open(str(directory), durability="journal")

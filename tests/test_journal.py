@@ -1,0 +1,195 @@
+"""Unit tests for the commit journal format and the fault-injection shim."""
+
+import pytest
+
+from repro.errors import TornJournalError
+from repro.storage import TemporalDocumentStore
+from repro.storage.faults import CrashError, FaultyFS, OSFileSystem, flip_bit
+from repro.storage.journal import (
+    MAGIC,
+    CommitJournal,
+    JournalRecord,
+    scan_journal,
+    verify_journal,
+)
+from repro.storage.recover import recover_store
+from repro.xmlcore import Element, Text, serialize
+
+
+def _journaled_store(tmp_path, fsync_policy="flush"):
+    store = TemporalDocumentStore()
+    journal = CommitJournal(
+        str(tmp_path / "journal.bin"), fsync_policy=fsync_policy
+    )
+    store.attach_journal(journal)
+    return store, journal
+
+
+class TestRecordFormat:
+    def test_round_trip_with_body(self):
+        body = Element("delta")
+        body.append(Element("stamp", {"xid": "4"}))
+        record = JournalRecord(
+            kind="update", doc_id=7, name="a b \"quoted\" & <odd>.xml",
+            version=3, ts=12345, nextxid=19, body=body,
+        )
+        back = JournalRecord.from_payload(record.to_payload())
+        assert back.kind == "update"
+        assert back.doc_id == 7
+        assert back.name == record.name
+        assert back.version == 3
+        assert back.ts == 12345
+        assert back.nextxid == 19
+        assert serialize(back.body) == serialize(body)
+
+    def test_round_trip_without_body(self):
+        record = JournalRecord(
+            kind="delete", doc_id=2, name="x.xml", version=5, ts=99
+        )
+        back = JournalRecord.from_payload(record.to_payload())
+        assert back.body is None
+        assert back.nextxid is None
+
+
+class TestJournalFile:
+    def test_commits_are_journaled_and_scannable(self, tmp_path):
+        store, journal = _journaled_store(tmp_path)
+        store.put("a.xml", "<doc><x>one</x></doc>")
+        store.update("a.xml", "<doc><x>two</x></doc>")
+        store.delete("a.xml")
+        journal.close()
+
+        records = verify_journal(str(tmp_path / "journal.bin"))
+        assert [r.kind for r in records] == ["create", "update", "delete"]
+        assert [r.version for r in records] == [1, 2, 2]
+        tree = records[0].initial_tree()
+        assert records[0].nextxid > max(n.xid for n in tree.iter())
+
+    def test_snapshot_records_follow_interval_commits(self, tmp_path):
+        store = TemporalDocumentStore(snapshot_interval=2)
+        journal = CommitJournal(str(tmp_path / "journal.bin"))
+        store.attach_journal(journal)
+        store.put("a.xml", "<doc><x>one</x></doc>")
+        for i in range(3):
+            store.update("a.xml", f"<doc><x>rev {i}</x></doc>")
+        journal.close()
+        kinds = [r.kind for r in verify_journal(str(tmp_path / "journal.bin"))]
+        assert kinds == [
+            "create", "update", "snapshot", "update", "update", "snapshot",
+        ]
+
+    def test_reopen_appends(self, tmp_path):
+        store, journal = _journaled_store(tmp_path)
+        store.put("a.xml", "<doc><x>one</x></doc>")
+        journal.close()
+        journal2 = CommitJournal(str(tmp_path / "journal.bin"))
+        journal2.append(
+            JournalRecord(kind="delete", doc_id=1, name="a.xml", version=1, ts=5)
+        )
+        journal2.close()
+        records = verify_journal(str(tmp_path / "journal.bin"))
+        assert [r.kind for r in records] == ["create", "delete"]
+
+    def test_roll_archives_generation(self, tmp_path):
+        store, journal = _journaled_store(tmp_path)
+        store.put("a.xml", "<doc><x>one</x></doc>")
+        journal.roll()
+        store.update("a.xml", "<doc><x>two</x></doc>")
+        journal.close()
+        prev = verify_journal(str(tmp_path / "journal.bin.prev"))
+        main = verify_journal(str(tmp_path / "journal.bin"))
+        assert [r.kind for r in prev] == ["create"]
+        assert [r.kind for r in main] == ["update"]
+        assert journal.stats.rolls == 1
+
+    def test_bad_magic_refused_on_open(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        path.write_bytes(b"this is not a journal at all")
+        with pytest.raises(TornJournalError):
+            CommitJournal(str(path))
+
+    def test_torn_header_truncated_on_open(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        path.write_bytes(MAGIC[:3])
+        journal = CommitJournal(str(path))
+        journal.close()
+        assert path.read_bytes() == MAGIC
+
+
+class TestScan:
+    def test_missing_and_empty(self, tmp_path):
+        missing = scan_journal(str(tmp_path / "nope.bin"))
+        assert missing.records == [] and not missing.torn
+        (tmp_path / "empty.bin").write_bytes(b"")
+        empty = scan_journal(str(tmp_path / "empty.bin"))
+        assert empty.records == [] and not empty.torn
+
+    def test_torn_tail_detected_and_truncatable(self, tmp_path):
+        store, journal = _journaled_store(tmp_path)
+        store.put("a.xml", "<doc><x>one</x></doc>")
+        store.update("a.xml", "<doc><x>two</x></doc>")
+        journal.close()
+        path = tmp_path / "journal.bin"
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # tear the last record mid-payload
+
+        scan = scan_journal(str(path))
+        assert scan.torn
+        assert scan.reason == "torn payload"
+        assert [r.kind for r in scan.records] == ["create"]
+        assert scan.valid_size < len(data) - 7
+        with pytest.raises(TornJournalError):
+            verify_journal(str(path))
+
+    def test_bit_flip_detected_by_crc(self, tmp_path):
+        store, journal = _journaled_store(tmp_path)
+        store.put("a.xml", "<doc><x>one</x></doc>")
+        store.update("a.xml", "<doc><x>two</x></doc>")
+        journal.close()
+        path = str(tmp_path / "journal.bin")
+        flip_bit(path, OSFileSystem().size(path) - 3)
+        scan = scan_journal(path)
+        assert scan.torn and scan.reason == "checksum mismatch"
+        assert [r.kind for r in scan.records] == ["create"]
+
+    def test_short_read_behaves_like_torn_tail(self, tmp_path):
+        store, journal = _journaled_store(tmp_path)
+        store.put("a.xml", "<doc><x>one two three</x></doc>")
+        store.update("a.xml", "<doc><x>four five</x></doc>")
+        journal.close()
+        fs = FaultyFS(short_read_at=1, short_read_fraction=0.6)
+        scan = scan_journal(str(tmp_path / "journal.bin"), fs=fs)
+        assert scan.torn
+        assert len(scan.records) <= 1
+
+
+class TestFaultyFS:
+    def test_crash_at_counts_and_kills(self, tmp_path):
+        fs = FaultyFS(crash_at=2)
+        handle = fs.open_append(str(tmp_path / "f"))
+        fs.write(handle, b"one")
+        with pytest.raises(CrashError):
+            fs.write(handle, b"twotwotwo")
+        with pytest.raises(CrashError):
+            fs.read_bytes(str(tmp_path / "f"))
+        assert fs.crashed
+        assert [name for name, _ in fs.op_log] == ["write", "write"]
+
+    def test_torn_write_leaves_prefix(self, tmp_path):
+        fs = FaultyFS(crash_at=1, torn_fraction=0.5)
+        handle = fs.open_append(str(tmp_path / "f"))
+        with pytest.raises(CrashError):
+            fs.write(handle, b"abcdefgh")
+        assert (tmp_path / "f").read_bytes() == b"abcd"
+
+    def test_recovery_truncates_short_read_tail(self, tmp_path):
+        # A short read during recovery must yield a clean prefix store.
+        store, journal = _journaled_store(tmp_path)
+        store.put("a.xml", "<doc><x>one</x></doc>")
+        store.update("a.xml", "<doc><x>two</x></doc>")
+        journal.close()
+        fs = FaultyFS(short_read_at=1, short_read_fraction=0.7)
+        recovered, report = recover_store(str(tmp_path), fs=fs)
+        assert report.torn_tail
+        index = recovered.delta_index("a.xml")
+        assert len(index) in (1, 2)

@@ -169,6 +169,149 @@ class TestDatabaseFacade:
         assert restored.fti.lookup("roma")
 
 
+class TestCorruptedArchives:
+    """Damaged archive files must fail as StorageError, naming the file."""
+
+    def _archive(self, populated, tmp_path):
+        path = tmp_path / "archive.xml"
+        dump_store(populated, str(path))
+        return path
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.xml"
+        path.write_text("")
+        with pytest.raises(StorageError) as excinfo:
+            load_store(str(path))
+        assert str(path) in str(excinfo.value)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.xml"
+        path.write_bytes(b"\x00\x01definitely not xml\xff")
+        with pytest.raises(StorageError) as excinfo:
+            load_store(str(path))
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_tail(self, populated, tmp_path):
+        path = self._archive(populated, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError) as excinfo:
+            load_store(str(path))
+        assert str(path) in str(excinfo.value)
+        # Wrapped, not the raw parser exception.
+        from repro.errors import CorruptArchiveError, XMLSyntaxError
+
+        assert isinstance(excinfo.value, CorruptArchiveError)
+        assert not isinstance(excinfo.value, XMLSyntaxError)
+        assert excinfo.value.path == str(path)
+
+    def test_parse_error_carries_offset(self, populated, tmp_path):
+        from repro.errors import CorruptArchiveError
+
+        path = self._archive(populated, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - len(data) // 3])
+        with pytest.raises(CorruptArchiveError) as excinfo:
+            load_store(str(path))
+        assert excinfo.value.offset is not None
+
+    def test_bit_flip_fails_checksum(self, populated, tmp_path):
+        from repro.storage.faults import flip_bit
+
+        path = self._archive(populated, tmp_path)
+        # Flip a text bit in the middle of the file; either the whole-file
+        # CRC or a per-document checksum must catch it.
+        flip_bit(str(path), path.stat().st_size // 2)
+        with pytest.raises(StorageError) as excinfo:
+            load_store(str(path))
+        assert "checksum" in str(excinfo.value)
+
+    def test_edited_document_fails_document_checksum(self, populated, tmp_path):
+        path = self._archive(populated, tmp_path)
+        text = path.read_text()
+        # Surgical edit that keeps the XML well-formed: change one version
+        # timestamp, then strip the whole-file footer so only the per-
+        # document checksum can object.
+        body, _, _ = text.rpartition("\n<!--crc32:")
+        import re as _re
+
+        edited = _re.sub(r'ts="(\d+)"', 'ts="1234567890"', body, count=1)
+        path.write_text(edited)
+        with pytest.raises(StorageError) as excinfo:
+            load_store(str(path))
+        assert "checksum" in str(excinfo.value)
+
+    def test_bad_format_attr_from_file(self, populated, tmp_path):
+        path = self._archive(populated, tmp_path)
+        text = path.read_text()
+        body, _, _ = text.rpartition("\n<!--crc32:")
+        path.write_text(body.replace('format="1"', 'format="99"', 1))
+        with pytest.raises(StorageError) as excinfo:
+            load_store(str(path))
+        assert "format" in str(excinfo.value)
+
+    def test_bad_numeric_field(self, tmp_path):
+        from repro.errors import CorruptArchiveError
+
+        path = tmp_path / "bad.xml"
+        path.write_text('<temporalstore format="1" clock="soon"/>')
+        with pytest.raises(CorruptArchiveError):
+            load_store(str(path))
+
+    def test_verify_false_skips_checksums(self, populated, tmp_path):
+        path = self._archive(populated, tmp_path)
+        text = path.read_text()
+        body, _, _ = text.rpartition("\n<!--crc32:")
+        # Destroy only the whole-file footer.
+        path.write_text(body + "\n<!--crc32:00000000-->\n")
+        with pytest.raises(StorageError):
+            load_store(str(path))
+        loaded = load_store(str(path), verify=False)
+        assert set(loaded.documents(include_deleted=True)) == set(
+            populated.documents(include_deleted=True)
+        )
+
+    def test_archives_without_checksums_still_load(self, populated):
+        # Pre-durability archives carried no checksum attributes; stripping
+        # them must leave the archive loadable (format is unchanged).
+        archive = dump_store(populated)
+        for doc in archive.child_elements():
+            doc.attrib.pop("checksum", None)
+        loaded = load_store(serialize(archive))
+        assert set(loaded.documents(include_deleted=True)) == set(
+            populated.documents(include_deleted=True)
+        )
+
+
+class TestAtomicDump:
+    def test_no_temp_file_left_behind(self, populated, tmp_path):
+        path = tmp_path / "archive.xml"
+        dump_store(populated, str(path))
+        assert path.exists()
+        assert not (tmp_path / "archive.xml.tmp").exists()
+
+    def test_crash_during_dump_preserves_old_archive(self, populated, tmp_path):
+        from repro.storage.faults import CrashError, FaultyFS
+
+        path = tmp_path / "archive.xml"
+        dump_store(populated, str(path))
+        before = path.read_bytes()
+        populated.update(
+            "guide.com",
+            "<guide><restaurant><name>Solo</name><price>5</price>"
+            "</restaurant></guide>",
+        )
+        # Crash on the temp-file write: the published archive is untouched.
+        with pytest.raises(CrashError):
+            dump_store(populated, str(path), fs=FaultyFS(crash_at=1))
+        assert path.read_bytes() == before
+        loaded = load_store(str(path))
+        assert len(loaded.delta_index("guide.com")) == len(
+            load_store(before.decode("utf-8").rpartition("\n<!--crc32:")[0])
+            .delta_index("guide.com")
+        )
+
+
 class TestArchiveValidation:
     def test_bad_format_rejected(self):
         from repro.xmlcore import Element
