@@ -12,7 +12,6 @@ default — so their numbers remain the uncached algorithm's; this benchmark
 is the one place the cache is switched on.
 """
 
-import pytest
 
 from repro.bench import Table
 from repro.model.identifiers import TEID

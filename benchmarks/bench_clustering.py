@@ -10,7 +10,6 @@ reconstruction is the series; the estimated-milliseconds column applies the
 classic 8 ms seek / 0.1 ms page model.
 """
 
-import pytest
 
 from repro.bench import Table
 from repro.storage import DiskSimulator, TemporalDocumentStore

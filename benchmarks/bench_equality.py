@@ -12,13 +12,11 @@ comparison regime gets precision/recall scores:
 * similarity (``~``) — the combination the paper recommends.
 """
 
-import pytest
 
 from repro import TemporalXMLDatabase
 from repro.bench import Table
 from repro.clock import format_timestamp
 from repro.equality import similar
-from repro.model.identifiers import TEID
 from repro.workload import RestaurantGuideGenerator
 from repro.xmlcore import Path
 

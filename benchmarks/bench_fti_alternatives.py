@@ -11,7 +11,6 @@ snapshot queries expensive; alternative 3 is good at both query classes but
 pays the summed size/update cost.
 """
 
-import pytest
 
 from repro.bench import Table
 from repro.index import (

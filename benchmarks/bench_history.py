@@ -8,7 +8,6 @@ be.  ElementHistory adds only in-memory filtering on top ("the whole deltas
 would have to be read anyway").
 """
 
-import pytest
 
 from repro.bench import Table
 from repro.model.identifiers import EID

@@ -10,7 +10,6 @@ The paper's remark about amortized index maintenance (inserts arrive in
 batches per commit) is checked as well.
 """
 
-import pytest
 
 from repro.bench import Table
 from repro.index import LifetimeIndex

@@ -14,7 +14,6 @@ would otherwise be reconstructed just to evaluate the predicate — with the
 rewriter on and off, asserting identical answers and counting delta reads.
 """
 
-import pytest
 
 from repro import TemporalXMLDatabase
 from repro.bench import Table

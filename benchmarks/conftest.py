@@ -7,6 +7,8 @@ time a representative operation with pytest-benchmark.
 The join benchmarks additionally record machine-readable engine
 comparisons through ``join_report``; everything collected in a session is
 written to ``BENCH_joins.json`` at the repository root when the run ends.
+The reconstruction-direction benchmarks do the same through
+``reconstruct_report`` into ``BENCH_reconstruct.json``.
 """
 
 from __future__ import annotations
@@ -16,8 +18,11 @@ from pathlib import Path
 
 import pytest
 
-_JOIN_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_joins.json"
+_ROOT = Path(__file__).resolve().parent.parent
+_JOIN_REPORT_PATH = _ROOT / "BENCH_joins.json"
+_RECONSTRUCT_REPORT_PATH = _ROOT / "BENCH_reconstruct.json"
 _join_records = []
+_reconstruct_records = []
 
 
 @pytest.fixture
@@ -45,16 +50,41 @@ def join_report():
     return _add
 
 
+@pytest.fixture
+def reconstruct_report():
+    """Collect one reconstruction-direction comparison record."""
+
+    def _add(record):
+        _reconstruct_records.append(record)
+
+    return _add
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not _join_records:
-        return
-    payload = {
-        "description": (
-            "Structural-temporal join engines compared: the seed "
-            "nested-loop join vs. the selectivity-ordered hash join "
-            "(wall time and candidate postings probed)."
-        ),
-        "runs": sorted(_join_records, key=lambda r: r["benchmark"]),
-    }
-    _JOIN_REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    _join_records.clear()
+    if _join_records:
+        payload = {
+            "description": (
+                "Structural-temporal join engines compared: the seed "
+                "nested-loop join vs. the selectivity-ordered hash join "
+                "(wall time and candidate postings probed)."
+            ),
+            "runs": sorted(_join_records, key=lambda r: r["benchmark"]),
+        }
+        _JOIN_REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        _join_records.clear()
+    if _reconstruct_records:
+        payload = {
+            "description": (
+                "Reconstruction direction matrix: backward-only (the "
+                "paper's algorithm) vs. cost-based bidirectional anchor "
+                "selection, with and without the version cache, plus the "
+                "batched reconstruct_range DocHistory sweep."
+            ),
+            "runs": sorted(
+                _reconstruct_records, key=lambda r: r["benchmark"]
+            ),
+        }
+        _RECONSTRUCT_REPORT_PATH.write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        _reconstruct_records.clear()

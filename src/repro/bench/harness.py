@@ -24,6 +24,10 @@ class Measurement:
     snapshot_reads: int = 0
     current_reads: int = 0
     version_reads: int = 0  # stratum full-version reads
+    forward_chains: int = 0        # reconstruction chains applied forward
+    backward_chains: int = 0       # chains applied via inverted deltas
+    anchor_reads_saved: int = 0    # delta reads avoided vs backward-only
+    range_scans: int = 0           # batched reconstruct_range sweeps
     postings_scanned: int = 0
     lookups: int = 0
     join_candidates_probed: int = 0   # postings the structural join tested
@@ -44,6 +48,10 @@ class Measurement:
             "snapshot_reads": self.snapshot_reads,
             "current_reads": self.current_reads,
             "version_reads": self.version_reads,
+            "forward_chains": self.forward_chains,
+            "backward_chains": self.backward_chains,
+            "anchor_reads_saved": self.anchor_reads_saved,
+            "range_scans": self.range_scans,
             "postings_scanned": self.postings_scanned,
             "join_candidates_probed": self.join_candidates_probed,
             "join_candidates_scanned": self.join_candidates_scanned,
@@ -71,11 +79,18 @@ class CostMeter:
         if self.store is not None:
             disk = self.store.disk.snapshot()
             repo = self.store.repository
+            anchors = repo.anchor_stats
             state["store"] = (
                 disk,
                 repo.delta_reads,
                 repo.snapshot_reads,
                 repo.current_reads,
+            )
+            state["anchors"] = (
+                anchors.forward_chains,
+                anchors.backward_chains,
+                anchors.delta_reads_saved,
+                anchors.range_scans,
             )
         if self.stratum is not None:
             state["stratum"] = (
@@ -123,6 +138,13 @@ class _Region:
             measurement.delta_reads = dr_a - dr_b
             measurement.snapshot_reads = sr_a - sr_b
             measurement.current_reads = cr_a - cr_b
+        if "anchors" in after:
+            fc_a, bc_a, saved_a, rs_a = after["anchors"]
+            fc_b, bc_b, saved_b, rs_b = before["anchors"]
+            measurement.forward_chains = fc_a - fc_b
+            measurement.backward_chains = bc_a - bc_b
+            measurement.anchor_reads_saved = saved_a - saved_b
+            measurement.range_scans = rs_a - rs_b
         if "stratum" in after:
             disk_after, vr_a = after["stratum"]
             disk_before, vr_b = before["stratum"]

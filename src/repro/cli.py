@@ -9,6 +9,7 @@ usable as a tiny temporal document database from the shell::
     python -m repro query   -a db.xml 'SELECT R FROM doc("guide.com")[EVERY]/restaurant R'
     python -m repro explain -a db.xml 'SELECT ...'
     python -m repro history -a db.xml guide.com
+    python -m repro stats   -a db.xml --exercise guide.com
     python -m repro delete  -a db.xml guide.com --ts 05/02/2001
 
 Mutating commands load the archive, apply the commit, and save it back;
@@ -75,6 +76,17 @@ def build_parser():
 
     docs = with_archive("ls", "list documents in the archive")
     docs.set_defaults(handler=_cmd_ls)
+
+    stats = with_archive(
+        "stats", "print repository read, cache, and anchor counters"
+    )
+    stats.add_argument(
+        "--exercise",
+        metavar="NAME",
+        help="reconstruct every version of document NAME first, so the "
+             "counters reflect a full history scan",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     recover = sub.add_parser(
         "recover",
@@ -235,6 +247,49 @@ def _cmd_recover(args, out):
         path = db.checkpoint()
         print(f"fresh checkpoint written to {path}", file=out)
     db.close()
+    return 0
+
+
+def _cmd_stats(args, out):
+    db = _open(args)
+    if args.exercise:
+        dindex = db.store.delta_index(args.exercise)
+        for _ in db.store.version_range(args.exercise, 1, len(dindex)):
+            pass
+    stats = db.store.read_stats()
+    print(f"reconstruct policy: {stats['reconstruct_policy']}", file=out)
+    print("storage reads:", file=out)
+    for key in ("delta_reads", "snapshot_reads", "current_reads"):
+        print(f"  {key}: {stats[key]}", file=out)
+    cache = stats["cache"]
+    print("version cache:", file=out)
+    print(
+        f"  hits: {cache['hits']}  misses: {cache['misses']}  "
+        f"hit_rate: {cache['hit_rate']}",
+        file=out,
+    )
+    print(
+        f"  evictions: {cache['evictions']}  "
+        f"invalidations: {cache['invalidations']}  "
+        f"saved_delta_reads: {cache['saved_delta_reads']}",
+        file=out,
+    )
+    anchors = stats["anchors"]
+    print("anchor choices:", file=out)
+    print(
+        f"  forward_chains: {anchors['forward_chains']}  "
+        f"backward_chains: {anchors['backward_chains']}  "
+        f"exact_anchors: {anchors['exact_anchors']}",
+        file=out,
+    )
+    for kind, count in anchors["by_anchor"].items():
+        print(f"  anchor[{kind}]: {count}", file=out)
+    print(
+        f"  delta_reads_saved: {anchors['delta_reads_saved']}  "
+        f"delta_bytes_saved: {anchors['delta_bytes_saved']}  "
+        f"range_scans: {anchors['range_scans']}",
+        file=out,
+    )
     return 0
 
 

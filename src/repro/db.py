@@ -48,18 +48,25 @@ class TemporalXMLDatabase:
         clustered=True,
         options=None,
         cache_size=0,
+        snapshot_policy=None,
+        reconstruct_policy="cost",
     ):
         """``snapshot_interval`` materializes a full snapshot every k-th
         version of each document; ``clustered`` controls simulated disk
         placement of deltas (Section 7.2's clustering discussion);
         ``options`` are :class:`~repro.query.executor.QueryOptions`;
-        ``cache_size`` enables the reconstruction version cache (see
-        ``docs/PERFORMANCE.md``; 0 keeps the paper's uncached behaviour)."""
+        ``cache_size`` enables the reconstruction version cache;
+        ``snapshot_policy`` (e.g.
+        :class:`~repro.storage.snapshots.AdaptiveSnapshotPolicy`) and
+        ``reconstruct_policy`` (``"cost"``/``"backward"``/``"forward"``)
+        tune reconstruction — see ``docs/PERFORMANCE.md``."""
         self.store = TemporalDocumentStore(
             clock=clock if clock is not None else LogicalClock(),
             snapshot_interval=snapshot_interval,
             clustered=clustered,
             cache_size=cache_size,
+            snapshot_policy=snapshot_policy,
+            reconstruct_policy=reconstruct_policy,
         )
         self.fti = self.store.subscribe(TemporalFullTextIndex())
         self.lifetime = self.store.subscribe(LifetimeIndex())
@@ -99,7 +106,8 @@ class TemporalXMLDatabase:
 
     @classmethod
     def load(cls, path, snapshot_interval=None, clustered=True,
-             options=None, cache_size=0):
+             options=None, cache_size=0, snapshot_policy=None,
+             reconstruct_policy="cost"):
         """Restore a database from :meth:`save`'s archive.
 
         Indexes (FTI, lifetime) are rebuilt by replaying the stored commit
@@ -112,7 +120,8 @@ class TemporalXMLDatabase:
         db = cls.__new__(cls)
         db.store = load_store(
             path, snapshot_interval=snapshot_interval, clustered=clustered,
-            cache_size=cache_size,
+            cache_size=cache_size, snapshot_policy=snapshot_policy,
+            reconstruct_policy=reconstruct_policy,
         )
         db.fti = TemporalFullTextIndex()
         db.lifetime = LifetimeIndex()

@@ -37,6 +37,28 @@ def apply_script(root, script, index=None):
     return root
 
 
+def apply_chain(root, scripts, index=None, invert=False):
+    """Apply a chain of edit scripts to ``root``; returns the resulting root.
+
+    ``scripts`` must be ordered oldest-first — the order the repository
+    stores them and the order a sequential sweep over the delta arena reads
+    them.  With ``invert=False`` they are applied as-is, rolling the tree
+    *forward* one version per script.  With ``invert=True`` the chain is
+    replayed newest-first with every script inverted, rolling the tree
+    *backward* (completed deltas are usable in both directions).  The shared
+    ``index`` survives across scripts, so the chain pays for one XID map.
+    """
+    if index is None:
+        index = {node.xid: node for node in root.iter()}
+    if invert:
+        for script in reversed(scripts):
+            root = apply_script(root, script.invert(), index)
+    else:
+        for script in scripts:
+            root = apply_script(root, script, index)
+    return root
+
+
 def _lookup(index, xid, kind=None):
     node = index.get(xid)
     if node is None:

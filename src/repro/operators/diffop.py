@@ -30,8 +30,8 @@ class Diff:
 
     def script(self, first, second):
         """Same, but as the structured :class:`EditScript`."""
-        old = self._resolve(first)
-        new = self._resolve(second).copy()
+        old, new = self._resolve_pair(first, second)
+        new = new.copy()
         if any(node.xid is None for node in old.iter()):
             # Standalone use on raw trees: stamp a private copy so the
             # differ has identities to work with.
@@ -39,6 +39,39 @@ class Diff:
             stamp_new_nodes(old, XIDAllocator(), 0)
         allocator = XIDAllocator(_max_xid(old, new) + 1)
         return diff(old, new, allocator)
+
+    def _resolve_pair(self, first, second):
+        if (
+            isinstance(first, TEID)
+            and isinstance(second, TEID)
+            and self.store is not None
+            and first.doc_id == second.doc_id
+        ):
+            pair = self._resolve_same_doc(first, second)
+            if pair is not None:
+                return pair
+        return self._resolve(first), self._resolve(second)
+
+    def _resolve_same_doc(self, first, second):
+        """Both TEIDs name versions of one document: materialize them as a
+        pair so the repository can share the delta sweep (deriving the
+        second version from the first when the connecting chain is cheaper
+        than a second anchor read).  Returns ``None`` to fall back to
+        per-side :class:`Reconstruct` — which raises the canonical errors —
+        when either version or element is missing."""
+        record = self.store.record(first.doc_id)
+        a = record.dindex.version_at(first.timestamp)
+        b = record.dindex.version_at(second.timestamp)
+        if a is None or b is None:
+            return None
+        tree_a, tree_b = self.store.repository.reconstruct_pair(
+            record, a.number, b.number
+        )
+        node_a = tree_a.find_by_xid(first.xid)
+        node_b = tree_b.find_by_xid(second.xid)
+        if node_a is None or node_b is None:
+            return None
+        return node_a, node_b
 
     def _resolve(self, source):
         if isinstance(source, Element):

@@ -2,11 +2,13 @@
 
 ``DocHistory(document, t1, t2)`` returns all versions of a document valid in
 ``[t1, t2)``.  Following the paper's algorithm it walks *backwards*: the
-newest requested version is reconstructed first (using snapshots when
-possible), then each older version is obtained by applying one more inverted
-delta — so the whole scan costs one reconstruction plus one delta read per
-additional version, and the output order is "the most previous versions
-first".
+newest requested version is reconstructed first (with the repository's
+cost-based anchor selection), then each older version is obtained by
+applying one more inverted delta — so the whole scan costs one anchor read
+plus one delta read per additional version, and the output order is "the
+most previous versions first".  The sweep is the repository's batched
+:meth:`~repro.storage.repository.Repository.reconstruct_range` generator
+(``newest_first=True``).
 
 ``ElementHistory(EID, t1, t2)`` runs DocHistory on the element's document
 and filters out the subtree rooted at the EID — "even if it was possible to
@@ -22,7 +24,6 @@ entirely, and ElementHistory copies only the matched subtree.
 
 from __future__ import annotations
 
-from ..diff.apply import apply_script
 from ..model.identifiers import TEID
 
 
@@ -63,15 +64,13 @@ class DocHistory:
         if not entries:
             return
         repository = self.store.repository
-        newest = entries[-1]
-        tree = repository.reconstruct(record, newest.number)
-        xids = tree.xid_index()
-        yield newest, tree, xids
-        for entry in reversed(entries[:-1]):
-            # One inverted delta takes us from version n+1 to version n;
-            # apply_script keeps the running map current through it.
-            script = repository.read_delta(record, entry.number)
-            tree = apply_script(tree, script.invert(), xids)
+        sweep = repository.reconstruct_range(
+            record, entries[0].number, entries[-1].number, newest_first=True
+        )
+        # versions_in returns contiguous entries oldest-first; the sweep
+        # yields the same numbers newest-first, so they zip exactly.
+        for entry, (number, tree, xids) in zip(reversed(entries), sweep):
+            assert entry.number == number
             yield entry, tree, xids
 
     def _result(self, entry, tree):

@@ -1,10 +1,12 @@
 """The Reconstruct operator (Section 7.3.3).
 
 Materializes the tree rooted at a TEID's element for the version valid at
-the TEID's timestamp.  Delegates to the repository's backward delta
-application (with snapshot shortcuts) and then filters the subtree — the
-TEID's timestamp may come from ``PreviousTS``/``NextTS``/``CurrentTS`` or
-from a pattern-scan match.
+the TEID's timestamp.  Delegates to the repository's bidirectional,
+cost-based delta application (cached trees, snapshots on either side of the
+target, and the current version all compete as anchors — see
+``storage/repository.py``) and then filters the subtree — the TEID's
+timestamp may come from ``PreviousTS``/``NextTS``/``CurrentTS`` or from a
+pattern-scan match.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ iterators over the structural join, the document restriction is pushed into
 the FTI lookups, and per-operator join work is counted in
 :attr:`join_stats`.  (``teids_per_version()`` keeps its sorted output
 contract, so it drains the join before yielding.)
+
+Neither scan materializes documents itself; rows that reach content-bearing
+expressions are resolved downstream through the executor's
+:class:`~repro.query.values.SnapshotCache`, which now derives adjacent
+versions by incremental delta application (cost-checked against the
+repository's bidirectional anchors) instead of reconstructing per row.
 """
 
 from __future__ import annotations

@@ -18,7 +18,6 @@ comparisons and arithmetic stay plain integer operations.
 from __future__ import annotations
 
 from ..clock import format_timestamp
-from ..diff.apply import apply_script
 from ..equality.value import coerce_scalar
 from ..errors import NoSuchVersionError
 from ..model.identifiers import EID
@@ -34,8 +33,10 @@ class SnapshotCache:
     EVERY-queries touch *adjacent* versions; reconstructing each binding
     independently would re-walk the delta chain per row.  The cache keeps
     every version it has materialized and derives a missing version from the
-    nearest cached neighbour with single delta steps — completed deltas
-    apply both forwards and backwards, so one delta read per step suffices.
+    nearest cached neighbour — completed deltas apply both forwards and
+    backwards, so one delta read per step suffices — unless the repository
+    estimates its own best anchor (a snapshot or version-cache entry near
+    the target) to be cheaper, in which case it reconstructs directly.
     Historical versions are immutable, so the cache needs no invalidation.
     """
 
@@ -72,17 +73,22 @@ class SnapshotCache:
         if neighbour is None:
             tree = repository.reconstruct(record, number)
         else:
-            tree = self._trees[(doc_id, neighbour)].copy()
-            xids = tree.xid_index()  # one map maintained across the steps
-            if neighbour < number:  # roll forward
-                for version in range(neighbour, number):
-                    tree = apply_script(
-                        tree, repository.read_delta(record, version), xids
-                    )
-            else:  # rewind
-                for version in range(neighbour - 1, number - 1, -1):
-                    script = repository.read_delta(record, version)
-                    tree = apply_script(tree, script.invert(), xids)
+            # Derive from the cached neighbour only when that chain is
+            # actually cheaper than the repository's own best anchor (which
+            # may be a snapshot or cached tree right next to the target).
+            bridge_cost, _ = repository.chain_cost_estimate(
+                record, neighbour, number
+            )
+            anchor_cost, _ = repository.estimate_cost(record, number)
+            if bridge_cost <= anchor_cost:
+                tree = repository.derive_version(
+                    record,
+                    self._trees[(doc_id, neighbour)].copy(),
+                    neighbour,
+                    number,
+                )
+            else:
+                tree = repository.reconstruct(record, number)
         self._trees[key] = tree
         return tree
 

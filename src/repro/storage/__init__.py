@@ -36,7 +36,12 @@ from .journal import (
 from .page import DiskSimulator, Extent
 from .deltaindex import DeltaIndex, VersionEntry
 from .recover import RecoveryReport, recover_store
-from .repository import Repository
+from .repository import Anchor, AnchorStats, Repository
+from .snapshots import (
+    AdaptiveSnapshotPolicy,
+    IntervalSnapshotPolicy,
+    SnapshotPolicy,
+)
 from .store import CommitEvent, TemporalDocumentStore
 
 __all__ = [
@@ -61,7 +66,12 @@ __all__ = [
     "VersionEntry",
     "RecoveryReport",
     "recover_store",
+    "Anchor",
+    "AnchorStats",
     "Repository",
+    "SnapshotPolicy",
+    "IntervalSnapshotPolicy",
+    "AdaptiveSnapshotPolicy",
     "TemporalDocumentStore",
     "CommitEvent",
 ]

@@ -90,6 +90,41 @@ class VersionCache:
 
     # -- read path ---------------------------------------------------------------
 
+    def anchor_candidates(self, doc_id, number):
+        """Nearest cached versions around ``number``: ``(below, above)``.
+
+        ``below`` is the largest cached version <= ``number`` (a *forward*
+        anchor), ``above`` the smallest cached version >= ``number`` (a
+        *backward* anchor); either is ``None`` when absent.  When ``number``
+        itself is cached both sides return it.  This counts **no** hit or
+        miss — the repository's cost-based anchor selection enumerates
+        candidates first and accounts only for the final choice (through
+        :meth:`fetch` / :meth:`count_miss`)."""
+        if not self.enabled:
+            return None, None
+        numbers = self._by_doc.get(doc_id)
+        if not numbers:
+            return None, None
+        below = max((n for n in numbers if n <= number), default=None)
+        above = min((n for n in numbers if n >= number), default=None)
+        return below, above
+
+    def fetch(self, doc_id, number):
+        """Take the cached tree for ``(doc_id, number)``; counts one hit.
+
+        Raises ``KeyError`` when absent — callers pick the key from
+        :meth:`anchor_candidates` first."""
+        key = (doc_id, number)
+        tree = self._entries[key]
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return tree.copy()
+
+    def count_miss(self):
+        """Record that an enabled cache offered no usable anchor."""
+        if self.enabled:
+            self.stats.misses += 1
+
     def lookup(self, doc_id, number, max_start):
         """Best cached starting point for reconstructing ``number``.
 

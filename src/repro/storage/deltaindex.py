@@ -13,7 +13,7 @@ version-navigation questions behind the ``PreviousTS`` / ``NextTS`` /
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 
 from ..clock import UNTIL_CHANGED
@@ -51,6 +51,13 @@ class DeltaIndex:
 
     entries: list = field(default_factory=list)
     deleted_at: int = None
+    #: Sorted version numbers that have snapshots (bisect lookups).
+    _snapshot_numbers: list = field(
+        default_factory=list, repr=False, compare=False
+    )
+    #: Prefix sums of delta bytes; ``_delta_prefix[i]`` is the byte total of
+    #: the deltas stored at versions ``1 .. i`` (rebuilt lazily).
+    _delta_prefix: list = field(default=None, repr=False, compare=False)
 
     # -- maintenance -----------------------------------------------------------
 
@@ -69,6 +76,30 @@ class DeltaIndex:
         elif entry.number != 1:
             raise NoSuchVersionError("first version must be number 1")
         self.entries.append(entry)
+        if entry.has_snapshot:
+            self.register_snapshot(entry.number)
+        self._delta_prefix = None
+
+    def register_snapshot(self, number):
+        """Record that version ``number`` now has a snapshot (idempotent).
+
+        The repository and the archive loader call this whenever they set an
+        entry's ``snapshot_extent``, keeping the sorted snapshot list in sync
+        so both nearest-snapshot lookups stay O(log n)."""
+        pos = bisect_left(self._snapshot_numbers, number)
+        if pos == len(self._snapshot_numbers) or (
+            self._snapshot_numbers[pos] != number
+        ):
+            insort(self._snapshot_numbers, number)
+
+    def record_delta_bytes(self, number, nbytes):
+        """Set the stored size of the completed delta at ``number``.
+
+        Going through this setter (rather than poking ``entry.delta_bytes``)
+        keeps the prefix-sum cache behind :meth:`delta_bytes_between`
+        coherent."""
+        self.entry(number).delta_bytes = nbytes
+        self._delta_prefix = None
 
     # -- basic lookups ------------------------------------------------------------
 
@@ -161,12 +192,52 @@ class DeltaIndex:
         """Smallest version >= ``number`` that has a snapshot, else None.
 
         This is the paper's reconstruction shortcut: "processing start using
-        the oldest snapshot with timestamp greater or equal to t".
+        the oldest snapshot with timestamp greater or equal to t".  Answered
+        by bisect over the sorted snapshot-number list, O(log n).
         """
-        for entry in self.entries[number - 1 :]:
-            if entry.has_snapshot:
-                return entry
-        return None
+        pos = bisect_left(self._snapshot_numbers, number)
+        if pos == len(self._snapshot_numbers):
+            return None
+        return self.entry(self._snapshot_numbers[pos])
+
+    def nearest_snapshot_at_or_before(self, number):
+        """Largest version <= ``number`` that has a snapshot, else None.
+
+        The anchor for *forward* delta application: completed deltas are
+        usable in both directions, so a snapshot below the target can be
+        rolled forward to it."""
+        pos = bisect_right(self._snapshot_numbers, number)
+        if pos == 0:
+            return None
+        return self.entry(self._snapshot_numbers[pos - 1])
+
+    def snapshot_numbers(self):
+        """Sorted version numbers that have snapshots (a copy)."""
+        return list(self._snapshot_numbers)
+
+    # -- cost model --------------------------------------------------------------------
+
+    def delta_bytes_between(self, lo, hi):
+        """Total stored bytes of the deltas at versions ``[lo, hi)``.
+
+        That is exactly the chain a reconstruction walks between an anchor
+        at ``lo`` and a target at ``hi`` (either direction).  Prefix sums
+        are cached, so after the first call this is O(1) per query until
+        the next commit."""
+        if hi <= lo:
+            return 0
+        prefix = self._delta_prefix
+        if prefix is None:
+            prefix = [0]
+            for entry in self.entries:
+                prefix.append(prefix[-1] + entry.delta_bytes)
+            self._delta_prefix = prefix
+        last = len(self.entries)
+        lo = max(1, lo)
+        hi = min(hi, last + 1)
+        if hi <= lo:
+            return 0
+        return prefix[hi - 1] - prefix[lo - 1]
 
     def __len__(self):
         return len(self.entries)

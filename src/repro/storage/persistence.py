@@ -139,6 +139,8 @@ def load_store(
     cache_size=0,
     verify=True,
     fs=None,
+    snapshot_policy=None,
+    reconstruct_policy="cost",
 ):
     """Rebuild a store from an archive (a path, XML text, or Element).
 
@@ -159,6 +161,8 @@ def load_store(
         snapshot_interval=snapshot_interval,
         clustered=clustered,
         cache_size=cache_size,
+        snapshot_policy=snapshot_policy,
+        reconstruct_policy=reconstruct_policy,
     )
     repository = store.repository
     highest_doc_id = 0
@@ -388,7 +392,7 @@ def _load_document(repository, doc, path=None):
     )
     for number, script in sorted(deltas.items()):
         entry = record.dindex.entry(number)
-        entry.delta_bytes = script.size_bytes()
+        record.dindex.record_delta_bytes(number, script.size_bytes())
         entry.delta_extent = disk.allocate(
             entry.delta_bytes, cluster_key=("deltas", record.doc_id)
         )
@@ -399,5 +403,6 @@ def _load_document(repository, doc, path=None):
         entry.snapshot_extent = disk.allocate(
             entry.snapshot_bytes, cluster_key=("snapshots", record.doc_id)
         )
+        record.dindex.register_snapshot(number)
         record.snapshots[number] = tree
     return record

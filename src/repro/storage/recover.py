@@ -75,6 +75,8 @@ def recover_store(
     cache_size=0,
     fs=None,
     repair=True,
+    snapshot_policy=None,
+    reconstruct_policy="cost",
 ):
     """Recover ``(store, report)`` from a durable database directory.
 
@@ -103,6 +105,8 @@ def recover_store(
                 clustered=clustered,
                 cache_size=cache_size,
                 fs=fs,
+                snapshot_policy=snapshot_policy,
+                reconstruct_policy=reconstruct_policy,
             )
             report.checkpoint_source = label
             break
@@ -113,6 +117,8 @@ def recover_store(
             snapshot_interval=snapshot_interval,
             clustered=clustered,
             cache_size=cache_size,
+            snapshot_policy=snapshot_policy,
+            reconstruct_policy=reconstruct_policy,
         )
     if observers:
         replay_history(store, observers)

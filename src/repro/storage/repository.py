@@ -1,10 +1,25 @@
 """Physical document repository: current version + delta chain + snapshots.
 
 The repository owns placement (through the :class:`DiskSimulator`) and
-reconstruction (the ``Reconstruct`` algorithm of Section 7.3.3): to obtain
-version *k*, start from the nearest materialized state at or after *k* (the
-current version or an intermediate snapshot) and apply completed deltas
-*backwards* until *k* is reached.
+reconstruction.  The paper's ``Reconstruct`` (Section 7.3.3) walks
+*backwards* from the current version or a snapshot at-or-after the target;
+because completed deltas are usable in both directions (Section 7.1, after
+Marian et al.), this implementation is **bidirectional and cost-aware**:
+
+* for a requested version it enumerates candidate anchors — a cached tree,
+  the nearest snapshot at-or-before, the nearest snapshot at-or-after, the
+  current version — prices each chain from the per-entry ``delta_bytes``
+  accounting in the :class:`DeltaIndex`, and starts from the cheapest;
+* stored edit scripts are applied forward from an anchor below the target
+  or inverted from an anchor above it;
+* :meth:`Repository.reconstruct_range` sweeps a whole version range with
+  one anchor read plus one pass over the deltas (the batched path behind
+  ``DocHistory`` and friends).
+
+``reconstruct_policy`` pins the direction for experiments: ``"backward"``
+is the paper's (and the seed's) algorithm, ``"forward"`` prefers anchors
+below the target, ``"cost"`` (the default) picks the cheapest.  Per-choice
+counters land in :attr:`Repository.anchor_stats`.
 
 Deltas and trees are kept as Python objects; the simulated extents carry the
 cost model.  ``read_*`` methods always account the I/O before returning.
@@ -14,17 +29,76 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..diff.apply import apply_script
+from ..diff.apply import apply_chain, apply_script
 from ..errors import (
     DocumentDeletedError,
     NoSuchDocumentError,
     NoSuchVersionError,
+    StorageError,
 )
 from ..model.identifiers import XIDAllocator
 from ..xmlcore.serializer import serialize
 from .cache import VersionCache
 from .deltaindex import DeltaIndex, VersionEntry
 from .page import DiskSimulator
+
+#: Reconstruction direction policies (see module docstring).
+RECONSTRUCT_POLICIES = ("cost", "backward", "forward")
+
+#: Cost-model weights, mirroring the disk simulator's classic split
+#: (``CounterSnapshot.estimated_ms``): a seek per logical read, a page of
+#: transfer per read plus the object bytes.  Logical, not measured — the
+#: estimate only needs to *rank* anchors consistently.
+_SEEK_MS = 8.0
+_PAGE_MS = 0.1
+
+#: Anchor kinds, in tie-break preference order (lower rank wins a cost tie;
+#: the cache costs no read, backward is the paper's default direction).
+_ANCHOR_RANK = {"cache": 0, "snapshot_after": 1, "snapshot_before": 2,
+                "current": 3}
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One candidate starting point for a reconstruction."""
+
+    kind: str        # "cache" | "snapshot_before" | "snapshot_after" | "current"
+    number: int      # version the anchor materializes
+    anchor_bytes: int  # bytes read to materialize it (0 for cached trees)
+    anchor_reads: int  # logical reads for the anchor itself (0 for cache)
+
+
+@dataclass
+class AnchorStats:
+    """Per-choice reconstruction counters (direction, anchor kind, savings).
+
+    ``delta_reads_saved`` / ``delta_bytes_saved`` compare every choice
+    against the paper's backward-only baseline (nearest snapshot at-or-after
+    the target, else the current version); negative contributions are
+    possible when a byte-cheaper anchor needs more (smaller) delta reads.
+    """
+
+    forward_chains: int = 0
+    backward_chains: int = 0
+    exact_anchors: int = 0  # anchor == target, no deltas applied
+    range_scans: int = 0    # reconstruct_range sweeps
+    by_anchor: dict = field(default_factory=dict)  # kind -> choices
+    delta_reads_saved: int = 0
+    delta_bytes_saved: int = 0
+
+    def count(self, kind):
+        self.by_anchor[kind] = self.by_anchor.get(kind, 0) + 1
+
+    def as_dict(self):
+        return {
+            "forward_chains": self.forward_chains,
+            "backward_chains": self.backward_chains,
+            "exact_anchors": self.exact_anchors,
+            "range_scans": self.range_scans,
+            "by_anchor": dict(sorted(self.by_anchor.items())),
+            "delta_reads_saved": self.delta_reads_saved,
+            "delta_bytes_saved": self.delta_bytes_saved,
+        }
 
 
 @dataclass
@@ -49,20 +123,40 @@ class DocumentRecord:
 class Repository:
     """Stores document records and implements version reconstruction."""
 
-    def __init__(self, disk=None, snapshot_interval=None, cache_size=0):
+    def __init__(
+        self,
+        disk=None,
+        snapshot_interval=None,
+        cache_size=0,
+        snapshot_policy=None,
+        reconstruct_policy="cost",
+    ):
         """``snapshot_interval=k`` materializes a full snapshot every k-th
         version (None disables intermediate snapshots, the paper's base
-        configuration).  ``cache_size`` bounds the reconstruction
+        configuration).  ``snapshot_policy`` is a
+        :class:`~repro.storage.snapshots.SnapshotPolicy` consulted after the
+        fixed interval (e.g. the adaptive delta-bytes policy).
+        ``cache_size`` bounds the reconstruction
         :class:`~repro.storage.cache.VersionCache`; 0 (the default) disables
-        it, keeping reads byte-identical to the paper's uncached algorithm."""
+        it.  ``reconstruct_policy`` pins the chain direction: ``"backward"``
+        is the paper's algorithm, ``"forward"`` prefers anchors below the
+        target, ``"cost"`` (default) picks the cheapest candidate."""
+        if reconstruct_policy not in RECONSTRUCT_POLICIES:
+            raise StorageError(
+                f"unknown reconstruct policy {reconstruct_policy!r}; "
+                f"expected one of {RECONSTRUCT_POLICIES}"
+            )
         self.disk = disk if disk is not None else DiskSimulator()
         self.snapshot_interval = snapshot_interval
+        self.snapshot_policy = snapshot_policy
+        self.reconstruct_policy = reconstruct_policy
         self.cache = VersionCache(cache_size)
         self._records = {}
         self._next_doc_id = 1
         self.delta_reads = 0  # logical delta-read counter (paper's metric)
         self.snapshot_reads = 0
         self.current_reads = 0
+        self.anchor_stats = AnchorStats()
 
     # -- record management ------------------------------------------------------
 
@@ -104,7 +198,7 @@ class Repository:
         old_entry.delta_extent = self.disk.allocate(
             delta_bytes, cluster_key=("deltas", record.doc_id)
         )
-        old_entry.delta_bytes = delta_bytes
+        record.dindex.record_delta_bytes(old_number, delta_bytes)
         record.deltas[old_number] = script
 
         new_number = old_number + 1
@@ -117,6 +211,10 @@ class Repository:
         )
 
         if self.snapshot_interval and new_number % self.snapshot_interval == 0:
+            self.materialize_snapshot(record, new_number)
+        elif self.snapshot_policy is not None and (
+            self.snapshot_policy.should_snapshot(record, entry)
+        ):
             self.materialize_snapshot(record, new_number)
         return entry
 
@@ -131,6 +229,7 @@ class Repository:
         entry.snapshot_extent = self.disk.allocate(
             entry.snapshot_bytes, cluster_key=("snapshots", record.doc_id)
         )
+        record.dindex.register_snapshot(number)
         return entry
 
     def mark_deleted(self, record, ts):
@@ -169,17 +268,117 @@ class Repository:
         self.snapshot_reads += 1
         return tree.copy()
 
-    # -- reconstruction (Section 7.3.3) ---------------------------------------------------
+    # -- anchor selection (cost model) ------------------------------------------------
+
+    def _cost(self, reads, nbytes):
+        """Estimated cost of ``reads`` logical reads totalling ``nbytes``.
+
+        A seek per read plus per-page transfer — the same shape as
+        ``CounterSnapshot.estimated_ms``.  Only the *ranking* matters."""
+        pages = reads + nbytes / self.disk.page_size
+        return reads * _SEEK_MS + pages * _PAGE_MS
+
+    def _chain_cost(self, record, anchor_number, target):
+        """(delta reads, delta bytes) of the chain between anchor and target."""
+        lo, hi = sorted((anchor_number, target))
+        return hi - lo, record.dindex.delta_bytes_between(lo, hi)
+
+    def _candidates(self, record, number, use_cache):
+        """Candidate anchors for reconstructing ``number``, unpriced."""
+        dindex = record.dindex
+        current_number = dindex.current_number
+        out = [Anchor("current", current_number, record.current_bytes, 1)]
+        after = dindex.nearest_snapshot_at_or_after(number)
+        if after is not None and after.number < current_number:
+            out.append(
+                Anchor("snapshot_after", after.number, after.snapshot_bytes, 1)
+            )
+        before = dindex.nearest_snapshot_at_or_before(number)
+        if before is not None:
+            out.append(
+                Anchor(
+                    "snapshot_before", before.number, before.snapshot_bytes, 1
+                )
+            )
+        if use_cache and self.cache.enabled:
+            below, above = self.cache.anchor_candidates(record.doc_id, number)
+            if above is not None:
+                out.append(Anchor("cache", above, 0, 0))
+            if below is not None and below != above:
+                out.append(Anchor("cache", below, 0, 0))
+        return out
+
+    def _choose_anchor(self, record, number, use_cache=True, policy=None):
+        """Pick the starting anchor for ``number`` under the active policy.
+
+        Returns ``(anchor, chain_reads, chain_bytes)``.  ``"backward"``
+        reproduces the seed algorithm exactly: only anchors at-or-after the
+        target, nearest chain first, the cache winning ties (it costs no
+        read).  ``"forward"`` prefers anchors at-or-before, falling back to
+        backward when none exists.  ``"cost"`` ranks every candidate by the
+        estimated cost of anchor read plus delta chain."""
+        policy = policy if policy is not None else self.reconstruct_policy
+        candidates = self._candidates(record, number, use_cache)
+        if policy == "backward":
+            pool = [a for a in candidates if a.number >= number]
+        elif policy == "forward":
+            pool = [a for a in candidates if a.number <= number]
+            if not pool:
+                pool = [a for a in candidates if a.number >= number]
+        else:
+            pool = candidates
+
+        def key(anchor):
+            reads, nbytes = self._chain_cost(record, anchor.number, number)
+            if policy == "backward":
+                # Seed semantics: distance decides, cache wins ties.
+                return (reads, _ANCHOR_RANK[anchor.kind])
+            cost = self._cost(
+                anchor.anchor_reads + reads, anchor.anchor_bytes + nbytes
+            )
+            return (cost, reads, _ANCHOR_RANK[anchor.kind])
+
+        best = min(pool, key=key)
+        reads, nbytes = self._chain_cost(record, best.number, number)
+        return best, reads, nbytes
+
+    def estimate_cost(self, record, number):
+        """Estimated cost and logical reads of reconstructing ``number``
+        with the active policy (including cache anchors); used by callers
+        that weigh a repository walk against deriving from trees they
+        already hold."""
+        anchor, reads, nbytes = self._choose_anchor(record, number)
+        return (
+            self._cost(anchor.anchor_reads + reads, anchor.anchor_bytes + nbytes),
+            anchor.anchor_reads + reads,
+        )
+
+    def chain_cost_estimate(self, record, base_number, target_number):
+        """Estimated cost/reads of walking the delta chain between two
+        versions, with no anchor read (the base tree is already in hand)."""
+        reads, nbytes = self._chain_cost(record, base_number, target_number)
+        return self._cost(reads, nbytes), reads
+
+    def _materialize_anchor(self, record, anchor):
+        """Read (and account) the chosen anchor; returns a private tree."""
+        if anchor.kind == "cache":
+            return self.cache.fetch(record.doc_id, anchor.number)
+        if anchor.kind == "current":
+            return self.read_current(record)
+        return self.read_snapshot(record, anchor.number)
+
+    # -- reconstruction (Section 7.3.3, bidirectional) --------------------------------
 
     def reconstruct(self, record, number):
         """Materialize version ``number`` of the document; returns a tree.
 
-        Backward application: start from the nearest materialized state at
-        or after ``number`` — a cached prior reconstruction, an intermediate
-        snapshot, or the current version — and apply the inverses of the
-        intervening completed deltas, most recent first.  With the version
-        cache disabled (``cache_size=0``) this is exactly the paper's
-        algorithm: nearest snapshot, else current.
+        Anchor selection is policy-driven (see module docstring); the delta
+        chain between anchor and target is then fetched in ascending
+        (on-disk) order — one sequential sweep over the delta arena — and
+        applied forward (anchor below the target) or inverted newest-first
+        (anchor above).  With ``reconstruct_policy="backward"`` and the
+        cache disabled this is exactly the paper's algorithm: nearest
+        snapshot at-or-after, else current.
         """
         current_number = record.dindex.current_number
         if not 1 <= number <= current_number:
@@ -187,37 +386,53 @@ class Repository:
                 f"{record.name} has no version {number} "
                 f"(current is {current_number})"
             )
-        snap = record.dindex.nearest_snapshot_at_or_after(number)
-        if snap is not None and snap.number < current_number:
-            base_start, base_is_snapshot = snap.number, True
-        else:
-            base_start, base_is_snapshot = current_number, False
-        # The cache may offer a start at least as close as the best stored
-        # state; on a tie it wins (no disk read needed).
-        cached_start, tree = self.cache.lookup(record.doc_id, number, base_start)
-        if cached_start is not None:
-            start_number = cached_start
-        elif base_is_snapshot:
-            start_number = base_start
-            tree = self.read_snapshot(record, start_number)
-        else:
-            start_number = base_start
-            tree = self.read_current(record)
-        # Fetch the needed chain in ascending (on-disk) order — one
-        # sequential sweep over the delta arena — then apply the inverses
-        # newest-first in memory.
-        chain = [
-            self.read_delta(record, version)
-            for version in range(number, start_number)
-        ]
-        if chain:
-            xids = tree.xid_index()  # one map maintained across the chain
-            for script in reversed(chain):
-                tree = apply_script(tree, script.invert(), xids)
+        anchor, chain_reads, chain_bytes = self._choose_anchor(record, number)
+        tree = self._materialize_anchor(record, anchor)
+        if anchor.kind != "cache":
+            self.cache.count_miss()
+        tree = self._apply_between(record, tree, anchor.number, number)
+        self._count_choice(record, number, anchor, chain_reads, chain_bytes)
         if self.cache.enabled:
-            self.cache.stats.saved_delta_reads += (base_start - number) - len(chain)
+            _anchor, uncached_reads, _bytes = self._choose_anchor(
+                record, number, use_cache=False
+            )
+            self.cache.stats.saved_delta_reads += uncached_reads - chain_reads
             self.cache.store(record.doc_id, number, tree)
         return tree
+
+    def _apply_between(self, record, tree, start_number, target_number):
+        """Apply the delta chain taking ``tree`` (version ``start_number``)
+        to ``target_number``; reads the chain in ascending on-disk order."""
+        if start_number == target_number:
+            return tree
+        lo, hi = sorted((start_number, target_number))
+        chain = [self.read_delta(record, version) for version in range(lo, hi)]
+        return apply_chain(
+            tree,
+            chain,
+            index=tree.xid_index(),
+            invert=start_number > target_number,
+        )
+
+    def _count_choice(self, record, number, anchor, chain_reads, chain_bytes):
+        stats = self.anchor_stats
+        stats.count(anchor.kind)
+        if chain_reads == 0:
+            stats.exact_anchors += 1
+        elif anchor.number > number:
+            stats.backward_chains += 1
+        else:
+            stats.forward_chains += 1
+        # Savings vs. the paper's backward-only baseline.
+        dindex = record.dindex
+        after = dindex.nearest_snapshot_at_or_after(number)
+        if after is not None and after.number < dindex.current_number:
+            base = after.number
+        else:
+            base = dindex.current_number
+        base_reads, base_bytes = self._chain_cost(record, base, number)
+        stats.delta_reads_saved += base_reads - chain_reads
+        stats.delta_bytes_saved += base_bytes - chain_bytes
 
     def reconstruct_at(self, record, ts):
         """Materialize the version valid at ``ts``; ``None`` if not valid."""
@@ -226,22 +441,119 @@ class Repository:
             return None
         return self.reconstruct(record, entry.number)
 
+    # -- batched materialization ------------------------------------------------------
+
+    def reconstruct_range(self, record, lo, hi, newest_first=False):
+        """Sweep versions ``lo..hi`` with one anchor read plus one delta pass.
+
+        Returns a generator of ``(number, tree, xids)``: the *live* working
+        tree (rolled in place between yields) and its maintained
+        ``xid -> node`` map — callers must copy what they retain.  With
+        ``newest_first`` the sweep starts at ``hi`` and rewinds (the
+        DocHistory output order); otherwise it starts at ``lo`` and rolls
+        forward.  Either way the cost is one cost-based reconstruction of
+        the first version plus exactly one delta read per further version.
+        """
+        current_number = record.dindex.current_number
+        if not 1 <= lo <= hi <= current_number:
+            raise NoSuchVersionError(
+                f"{record.name} has no versions {lo}..{hi} "
+                f"(current is {current_number})"
+            )
+        return self._range_iter(record, lo, hi, newest_first)
+
+    def _range_iter(self, record, lo, hi, newest_first):
+        stats = self.anchor_stats
+        stats.range_scans += 1
+        first = hi if newest_first else lo
+        tree = self.reconstruct(record, first)
+        xids = tree.xid_index()
+        yield first, tree, xids
+        if newest_first:
+            numbers = range(hi - 1, lo - 1, -1)
+        else:
+            numbers = range(lo + 1, hi + 1)
+        for number in numbers:
+            if newest_first:
+                script = self.read_delta(record, number).invert()
+                stats.backward_chains += 1
+            else:
+                script = self.read_delta(record, number - 1)
+                stats.forward_chains += 1
+            tree = apply_script(tree, script, xids)
+            yield number, tree, xids
+
+    def derive_version(self, record, tree, base_number, target_number,
+                       xids=None):
+        """Roll an already-materialized ``base_number`` ``tree`` to
+        ``target_number`` in place, one delta read per step (either
+        direction); returns the resulting tree.  The chain is read in
+        ascending on-disk order like :meth:`reconstruct`."""
+        if base_number == target_number:
+            return tree
+        if xids is None:
+            xids = tree.xid_index()
+        lo, hi = sorted((base_number, target_number))
+        chain = [self.read_delta(record, version) for version in range(lo, hi)]
+        stats = self.anchor_stats
+        if base_number > target_number:
+            stats.backward_chains += 1
+        else:
+            stats.forward_chains += 1
+        return apply_chain(
+            tree, chain, index=xids, invert=base_number > target_number
+        )
+
+    def reconstruct_pair(self, record, first, second):
+        """Materialize two versions of one document, sharing the sweep when
+        the connecting chain is cheaper than the second version's own best
+        anchor; returns ``(tree_first, tree_second)``."""
+        if first == second:
+            tree = self.reconstruct(record, first)
+            return tree, tree.copy()
+        lo, hi = sorted((first, second))
+        lo_tree = self.reconstruct(record, lo)
+        bridge_cost, _reads = self.chain_cost_estimate(record, lo, hi)
+        anchor_cost, _reads = self.estimate_cost(record, hi)
+        if bridge_cost <= anchor_cost:
+            hi_tree = self.derive_version(record, lo_tree.copy(), lo, hi)
+        else:
+            hi_tree = self.reconstruct(record, hi)
+        if first == lo:
+            return lo_tree, hi_tree
+        return hi_tree, lo_tree
+
     # -- space accounting ---------------------------------------------------------------------
 
     def storage_bytes(self):
-        """Stored bytes by category (the E7 space comparison)."""
+        """Stored bytes by category (the E7 space comparison).
+
+        The three seed categories are unchanged; ``snapshot_count`` and
+        ``snapshot_policy`` report the placement-policy tradeoff (space
+        spent vs. the reconstruction bound the policy buys)."""
         current = sum(r.current_bytes for r in self._records.values())
         deltas = 0
         snapshots = 0
+        snapshot_count = 0
         for record in self._records.values():
             for entry in record.dindex.entries:
                 deltas += entry.delta_bytes
                 snapshots += entry.snapshot_bytes
+                if entry.has_snapshot:
+                    snapshot_count += 1
+        if self.snapshot_interval:
+            policy = f"interval({self.snapshot_interval})"
+        elif self.snapshot_policy is not None:
+            policy = self.snapshot_policy.describe()
+        else:
+            policy = "none"
         return {
             "current": current,
             "deltas": deltas,
             "snapshots": snapshots,
             "total": current + deltas + snapshots,
+            "snapshot_count": snapshot_count,
+            "snapshot_policy": policy,
         }
 
 

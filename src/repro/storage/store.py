@@ -64,15 +64,25 @@ class TemporalDocumentStore:
         snapshot_interval=None,
         clustered=True,
         cache_size=0,
+        snapshot_policy=None,
+        reconstruct_policy="cost",
     ):
         """``cache_size`` bounds the repository's reconstruction cache
         (:class:`~repro.storage.cache.VersionCache`); the default 0 keeps
-        every read path identical to the paper's uncached algorithms."""
+        every read path identical to the paper's uncached algorithms.
+        ``snapshot_policy`` (a
+        :class:`~repro.storage.snapshots.SnapshotPolicy`) and
+        ``reconstruct_policy`` (``"cost"`` / ``"backward"`` / ``"forward"``)
+        are forwarded to the :class:`~repro.storage.repository.Repository`."""
         if disk is None:
             disk = DiskSimulator(clustered=clustered)
         self.clock = clock if clock is not None else LogicalClock()
         self.repository = Repository(
-            disk, snapshot_interval=snapshot_interval, cache_size=cache_size
+            disk,
+            snapshot_interval=snapshot_interval,
+            cache_size=cache_size,
+            snapshot_policy=snapshot_policy,
+            reconstruct_policy=reconstruct_policy,
         )
         self._by_name = {}
         self._observers = []
@@ -251,6 +261,29 @@ class TemporalDocumentStore:
         """Materialize version ``number`` (1-based)."""
         record = self.record(name_or_id)
         return self.repository.reconstruct(record, number)
+
+    def version_range(self, name_or_id, lo, hi, newest_first=False):
+        """Stream versions ``lo..hi`` as ``(number, tree, xids)`` with one
+        anchor read plus one delta pass (see
+        :meth:`~repro.storage.repository.Repository.reconstruct_range`).
+        The yielded trees are *live* — copy what you keep."""
+        record = self.record(name_or_id)
+        return self.repository.reconstruct_range(
+            record, lo, hi, newest_first=newest_first
+        )
+
+    def read_stats(self):
+        """Repository read counters, cache stats, and anchor/direction
+        choices as one flat-ish dict (the ``repro stats`` CLI payload)."""
+        repo = self.repository
+        return {
+            "delta_reads": repo.delta_reads,
+            "snapshot_reads": repo.snapshot_reads,
+            "current_reads": repo.current_reads,
+            "cache": repo.cache.stats.as_dict(),
+            "anchors": repo.anchor_stats.as_dict(),
+            "reconstruct_policy": repo.reconstruct_policy,
+        }
 
     def subtree(self, teid):
         """The subtree rooted at ``teid``'s element in the version valid at

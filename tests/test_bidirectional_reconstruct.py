@@ -1,0 +1,174 @@
+"""Forward/backward/cost-based reconstruction equivalence.
+
+Completed deltas are invertible, so *any* anchor — current version,
+snapshot on either side of the target, cached tree — must reconstruct the
+byte-identical version.  These tests drive randomized tdocgen histories
+(the same seeds as the join equivalence harness) through every
+``reconstruct_policy``, with and without the version cache and with
+different snapshot spacings, and compare serializations against a
+store-every-version oracle.  They also pin down ``reconstruct_range`` /
+``reconstruct_pair`` equivalence and the VersionCache's interaction with
+snapshot materialization and document deletion.
+"""
+
+import pytest
+
+from repro.storage import TemporalDocumentStore
+from repro.storage.snapshots import AdaptiveSnapshotPolicy
+from repro.workload import TDocGenerator
+from repro.xmlcore.serializer import serialize
+
+SEEDS = [3, 11, 42]
+VERSIONS = 14
+
+
+def _build(seed, **store_kwargs):
+    """A store with a randomized history plus the expected serialization of
+    every version (captured from the trees before they were committed)."""
+    store = TemporalDocumentStore(**store_kwargs)
+    generator = TDocGenerator(seed=seed)
+    trees = generator.version_sequence("d.xml", VERSIONS)
+    expected = []
+    store.put("d.xml", trees[0])
+    expected.append(serialize(store.current("d.xml")))
+    for tree in trees[1:]:
+        store.update("d.xml", tree)
+        expected.append(serialize(store.current("d.xml")))
+    return store, expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("policy", ["backward", "forward", "cost"])
+@pytest.mark.parametrize("cache_size", [0, 4])
+@pytest.mark.parametrize("snapshot_interval", [None, 5])
+class TestPolicyEquivalence:
+    def test_every_version_byte_identical(
+        self, seed, policy, cache_size, snapshot_interval
+    ):
+        store, expected = _build(
+            seed,
+            snapshot_interval=snapshot_interval,
+            cache_size=cache_size,
+            reconstruct_policy=policy,
+        )
+        # Mixed access order so cached results feed later reconstructions.
+        order = list(range(1, VERSIONS + 1))
+        order = order[::2] + order[1::2][::-1]
+        for number in order:
+            tree = store.version("d.xml", number)
+            assert serialize(tree) == expected[number - 1], (
+                f"version {number} mismatch under policy={policy}"
+            )
+        # Second pass (cache now warm where enabled).
+        for number in order:
+            tree = store.version("d.xml", number)
+            assert serialize(tree) == expected[number - 1]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRangeAndPair:
+    def test_reconstruct_range_matches_pointwise(self, seed):
+        store, expected = _build(seed, snapshot_interval=4)
+        record = store.record("d.xml")
+        repository = store.repository
+        lo, hi = 2, VERSIONS - 1
+        forward = [
+            (number, serialize(tree))
+            for number, tree, _xids in repository.reconstruct_range(
+                record, lo, hi
+            )
+        ]
+        assert [n for n, _s in forward] == list(range(lo, hi + 1))
+        for number, text in forward:
+            assert text == expected[number - 1]
+        backward = [
+            (number, serialize(tree))
+            for number, tree, _xids in repository.reconstruct_range(
+                record, lo, hi, newest_first=True
+            )
+        ]
+        assert [n for n, _s in backward] == list(range(hi, lo - 1, -1))
+        for number, text in backward:
+            assert text == expected[number - 1]
+
+    def test_range_costs_one_anchor_and_one_delta_pass(self, seed):
+        store, _expected = _build(seed)
+        record = store.record("d.xml")
+        repo = store.repository
+        repo.delta_reads = repo.snapshot_reads = repo.current_reads = 0
+        # Newest-first from the current version (the DocHistory shape):
+        # the anchor is the current tree, chain length zero, then exactly
+        # one inverted delta per older version.
+        for _ in repo.reconstruct_range(record, 1, VERSIONS,
+                                        newest_first=True):
+            pass
+        assert repo.snapshot_reads + repo.current_reads == 1
+        assert repo.delta_reads == VERSIONS - 1
+
+    def test_range_rejects_bad_bounds(self, seed):
+        from repro.errors import NoSuchVersionError
+
+        store, _expected = _build(seed)
+        record = store.record("d.xml")
+        with pytest.raises(NoSuchVersionError):
+            store.repository.reconstruct_range(record, 0, 3)
+        with pytest.raises(NoSuchVersionError):
+            store.repository.reconstruct_range(record, 2, VERSIONS + 1)
+
+    def test_reconstruct_pair_byte_identical(self, seed):
+        store, expected = _build(seed, snapshot_interval=6)
+        record = store.record("d.xml")
+        for first, second in [(3, 9), (9, 3), (1, VERSIONS), (5, 5)]:
+            tree_a, tree_b = store.repository.reconstruct_pair(
+                record, first, second
+            )
+            assert serialize(tree_a) == expected[first - 1]
+            assert serialize(tree_b) == expected[second - 1]
+            # The pair must be independent trees, not aliases.
+            assert tree_a is not tree_b
+
+
+class TestCacheInteraction:
+    def test_snapshot_materialization_coexists_with_cache(self):
+        store, expected = _build(3, cache_size=8)
+        record = store.record("d.xml")
+        repository = store.repository
+        # Warm the cache, then materialize a snapshot at a cached version
+        # and next to one; reconstructions must stay byte-identical.
+        for number in (4, 9):
+            store.version("d.xml", number)
+        repository.materialize_snapshot(record, 4)
+        repository.materialize_snapshot(record, 10)
+        assert record.dindex.snapshot_numbers() == [4, 10]
+        for number in range(1, VERSIONS + 1):
+            assert serialize(store.version("d.xml", number)) == (
+                expected[number - 1]
+            )
+
+    def test_deletion_invalidates_cached_versions(self):
+        store, expected = _build(11, cache_size=8)
+        doc_id = store.doc_id("d.xml")
+        for number in (2, 7, VERSIONS):
+            store.version("d.xml", number)
+        assert len(store.version_cache) > 0
+        store.delete("d.xml")
+        assert all(key[0] != doc_id for key in store.version_cache.keys())
+        # History stays queryable after deletion, and repopulates the cache.
+        for number in (2, 7):
+            assert serialize(store.version("d.xml", number)) == (
+                expected[number - 1]
+            )
+
+    def test_adaptive_policy_versions_stay_byte_identical(self):
+        store, expected = _build(
+            42,
+            snapshot_policy=AdaptiveSnapshotPolicy(max_delta_bytes=400),
+            cache_size=4,
+        )
+        assert store.record("d.xml").dindex.snapshot_numbers(), (
+            "threshold should have fired at least once on this history"
+        )
+        for number in range(1, VERSIONS + 1):
+            assert serialize(store.version("d.xml", number)) == (
+                expected[number - 1]
+            )

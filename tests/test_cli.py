@@ -5,7 +5,6 @@ import io
 import pytest
 
 from repro.cli import main
-from repro.workload import load_figure1
 
 
 def _run(*argv):
@@ -78,6 +77,40 @@ class TestLifecycle:
         assert code == 0
         code, out = _run("ls", "-a", str(archive))
         assert "deleted 05/02/2001" in out
+
+    def test_stats(self, guide_files):
+        archive, v1, v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1),
+             "--ts", "01/01/2001")
+        _run("update", "-a", str(archive), "guide.com", str(v2),
+             "--ts", "31/01/2001")
+        code, out = _run("stats", "-a", str(archive))
+        assert code == 0
+        assert "reconstruct policy: cost" in out
+        assert "delta_reads:" in out
+        assert "hit_rate:" in out
+        assert "delta_reads_saved:" in out
+
+    def test_stats_exercise_scans_history(self, guide_files):
+        archive, v1, v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1),
+             "--ts", "01/01/2001")
+        _run("update", "-a", str(archive), "guide.com", str(v2),
+             "--ts", "31/01/2001")
+        code, out = _run("stats", "-a", str(archive),
+                         "--exercise", "guide.com")
+        assert code == 0
+        assert "range_scans: 1" in out
+        # The sweep chose an anchor and applied at least one chain.
+        assert "anchor[" in out
+
+    def test_stats_exercise_unknown_document(self, guide_files):
+        archive, v1, _v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1))
+        code, out = _run("stats", "-a", str(archive),
+                         "--exercise", "ghost.com")
+        assert code == 1
+        assert "error:" in out
 
 
 class TestErrors:

@@ -1,6 +1,5 @@
 """Tests for the TemporalXMLDatabase facade and bench harness utilities."""
 
-import pytest
 
 from repro import TemporalXMLDatabase, parse_date
 from repro.bench import CostMeter, Table

@@ -115,5 +115,57 @@ class TestSnapshots:
         assert index.nearest_snapshot_at_or_after(3).number == 3
         assert index.nearest_snapshot_at_or_after(4) is None
 
+    def test_nearest_snapshot_at_or_before(self):
+        index = _index([100, 200, 300, 400], snapshots={2, 4})
+        assert index.nearest_snapshot_at_or_before(1) is None
+        assert index.nearest_snapshot_at_or_before(2).number == 2
+        assert index.nearest_snapshot_at_or_before(3).number == 2
+        assert index.nearest_snapshot_at_or_before(4).number == 4
+
+    def test_register_snapshot_is_idempotent_and_sorted(self):
+        index = _index([100, 200, 300])
+        index.register_snapshot(3)
+        index.register_snapshot(1)
+        index.register_snapshot(3)
+        assert index.snapshot_numbers() == [1, 3]
+        assert index.nearest_snapshot_at_or_after(2).number == 3
+        assert index.nearest_snapshot_at_or_before(2).number == 1
+
+    def test_snapshot_numbers_returns_copy(self):
+        index = _index([100, 200], snapshots={1})
+        numbers = index.snapshot_numbers()
+        numbers.append(99)
+        assert index.snapshot_numbers() == [1]
+
     def test_len(self):
         assert len(_index([100, 200])) == 2
+
+
+class TestDeltaBytes:
+    def _sized(self, sizes):
+        index = _index([100 * n for n in range(1, len(sizes) + 2)])
+        for number, size in enumerate(sizes, start=1):
+            index.record_delta_bytes(number, size)
+        return index
+
+    def test_delta_bytes_between(self):
+        index = self._sized([10, 20, 30])
+        assert index.delta_bytes_between(1, 4) == 60
+        assert index.delta_bytes_between(2, 4) == 50
+        assert index.delta_bytes_between(1, 2) == 10
+        assert index.delta_bytes_between(3, 3) == 0
+        assert index.delta_bytes_between(4, 1) == 0
+
+    def test_bounds_are_clamped(self):
+        index = self._sized([10, 20])
+        assert index.delta_bytes_between(0, 100) == 30
+        assert index.delta_bytes_between(-5, 2) == 10
+
+    def test_prefix_cache_invalidated_by_updates(self):
+        index = self._sized([10, 20])
+        assert index.delta_bytes_between(1, 3) == 30
+        index.record_delta_bytes(1, 100)
+        assert index.delta_bytes_between(1, 3) == 120
+        index.append(VersionEntry(4, 1000))
+        index.record_delta_bytes(3, 5)
+        assert index.delta_bytes_between(1, 4) == 125

@@ -1,10 +1,8 @@
 """Smoke tests: every example script must run and produce its key output."""
 
 import runpy
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

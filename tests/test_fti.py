@@ -11,7 +11,7 @@ from repro.storage import TemporalDocumentStore
 from repro.workload import load_figure1
 from repro.xmlcore import parse
 
-from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+from tests.conftest import JAN_01, JAN_26, JAN_31
 
 
 @pytest.fixture

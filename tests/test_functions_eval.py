@@ -14,7 +14,6 @@ from repro.errors import (
 from repro.query import QueryOptions
 from repro.query.parser import parse_query
 
-from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
 
 
 class TestErrorHierarchy:

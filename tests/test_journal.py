@@ -13,7 +13,7 @@ from repro.storage.journal import (
     verify_journal,
 )
 from repro.storage.recover import recover_store
-from repro.xmlcore import Element, Text, serialize
+from repro.xmlcore import Element, serialize
 
 
 def _journaled_store(tmp_path, fsync_policy="flush"):

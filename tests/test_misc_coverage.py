@@ -8,7 +8,6 @@ from repro.equality.value import coerce_scalar
 from repro.model.identifiers import EID
 from repro.storage import TemporalDocumentStore
 from repro.warehouse import Crawler, SimulatedWeb
-from repro.workload import load_figure1
 from repro.xmlcore import Text, element, parse, serialize
 
 DAY = 24 * 3600

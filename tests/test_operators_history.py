@@ -5,8 +5,8 @@ import pytest
 
 from repro.clock import BEFORE_TIME, UNTIL_CHANGED
 from repro.errors import NoSuchVersionError, QueryPlanError
-from repro.index import LifetimeIndex, TemporalFullTextIndex
-from repro.model.identifiers import EID, TEID
+from repro.index import LifetimeIndex
+from repro.model.identifiers import TEID
 from repro.operators import (
     CreTime,
     DelTime,

@@ -28,7 +28,7 @@ from repro.operators import (
 from repro.operators.relational import INTERVAL_KEY
 from repro.storage import TemporalDocumentStore
 from repro.workload import load_figure1
-from repro.xmlcore import Path, element, parse
+from repro.xmlcore import element, parse
 
 from tests.conftest import JAN_01, JAN_31
 

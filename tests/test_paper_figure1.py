@@ -9,7 +9,7 @@ columns attached.
 from repro.clock import format_timestamp
 from repro.xmlcore import Path
 
-from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+from tests.conftest import JAN_01, JAN_15, JAN_31
 
 
 class TestFigure1Timeline:

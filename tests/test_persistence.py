@@ -15,7 +15,6 @@ from repro.index import LifetimeIndex, TemporalFullTextIndex
 from repro.workload import TDocGenerator, build_collection, load_figure1
 from repro.xmlcore import serialize
 
-from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
 
 
 @pytest.fixture

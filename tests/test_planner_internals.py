@@ -4,7 +4,7 @@ and index/navigation equivalence on synthetic collections."""
 import pytest
 
 from repro.index import TemporalFullTextIndex
-from repro.query import QueryEngine, QueryOptions
+from repro.query import QueryEngine
 from repro.query.parser import parse_query
 from repro.query.planner import (
     _anchored,
@@ -13,7 +13,7 @@ from repro.query.planner import (
     _resolve_documents,
 )
 from repro.storage import TemporalDocumentStore
-from repro.workload import TDocGenerator, build_collection, load_figure1
+from repro.workload import TDocGenerator, build_collection
 from repro.xmlcore.path import Path
 
 

@@ -21,7 +21,6 @@ import pytest
 
 from hypothesis import given, settings, strategies as st
 
-from repro.clock import UNTIL_CHANGED
 from repro.diff import apply_script, diff
 from repro.index import LifetimeIndex, TemporalFullTextIndex, tokenize
 from repro.model.identifiers import TEID, XIDAllocator
@@ -323,7 +322,7 @@ class TestRewriterEquivalenceProperty:
     @settings(max_examples=10, deadline=None)
     def test_windowed_history_queries(self, seed, versions):
         from repro.index import TemporalFullTextIndex as FTI
-        from repro.query import QueryEngine, QueryOptions
+        from repro.query import QueryEngine
         from repro.clock import format_timestamp
 
         rng = random.Random(seed)

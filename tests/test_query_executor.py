@@ -4,10 +4,9 @@ import pytest
 
 from repro.clock import format_timestamp
 from repro.errors import NoSuchDocumentError, QueryPlanError
-from repro.query import QueryOptions
 from repro.xmlcore import Path, serialize
 
-from tests.conftest import JAN_01, JAN_15, JAN_26, JAN_31
+from tests.conftest import JAN_01, JAN_15, JAN_31
 
 
 def _texts(result, column, path):

@@ -9,7 +9,6 @@ from repro.query.ast import (
     EVERY,
     BinOp,
     DateLiteral,
-    FuncCall,
     IntervalLiteral,
     Literal,
     NotOp,

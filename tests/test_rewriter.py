@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.clock import BEFORE_TIME, SECONDS_PER_DAY, UNTIL_CHANGED, parse_date
-from repro.query.ast import BinOp, DateLiteral, EVERY, FuncCall, VarPath
+from repro.clock import SECONDS_PER_DAY, parse_date
+from repro.query.ast import BinOp, DateLiteral, EVERY
 from repro.query.parser import parse_query
 from repro.query.rewriter import TimeWindow, rewrite
 

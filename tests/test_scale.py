@@ -8,7 +8,7 @@ round-trip.  This is the "does the whole system hold together" test.
 
 import pytest
 
-from repro.clock import UNTIL_CHANGED, parse_date
+from repro.clock import parse_date
 from repro.index import (
     DeltaOperationIndex,
     LifetimeIndex,

@@ -1,0 +1,137 @@
+"""Snapshot placement policies (interval and adaptive delta-bytes)."""
+
+import pytest
+
+from repro.storage import TemporalDocumentStore
+from repro.storage.snapshots import (
+    AdaptiveSnapshotPolicy,
+    IntervalSnapshotPolicy,
+    SnapshotPolicy,
+)
+from repro.workload import TDocGenerator
+
+VERSIONS = 12
+
+
+def _populate(store, seed=3, versions=VERSIONS):
+    generator = TDocGenerator(seed=seed)
+    trees = generator.version_sequence("d.xml", versions)
+    store.put("d.xml", trees[0])
+    for tree in trees[1:]:
+        store.update("d.xml", tree)
+    return store
+
+
+class TestPolicyObjects:
+    def test_base_policy_never_fires(self):
+        store = _populate(
+            TemporalDocumentStore(snapshot_policy=SnapshotPolicy())
+        )
+        assert store.record("d.xml").dindex.snapshot_numbers() == []
+
+    def test_interval_policy_matches_interval_knob(self):
+        knob = _populate(TemporalDocumentStore(snapshot_interval=4))
+        policy = _populate(
+            TemporalDocumentStore(
+                snapshot_policy=IntervalSnapshotPolicy(4)
+            )
+        )
+        assert (
+            knob.record("d.xml").dindex.snapshot_numbers()
+            == policy.record("d.xml").dindex.snapshot_numbers()
+            == [4, 8, 12]
+        )
+
+    def test_interval_policy_validates(self):
+        with pytest.raises(ValueError):
+            IntervalSnapshotPolicy(0)
+        with pytest.raises(ValueError):
+            AdaptiveSnapshotPolicy(0)
+
+    def test_describe(self):
+        assert SnapshotPolicy().describe() == "none"
+        assert IntervalSnapshotPolicy(4).describe() == "interval(4)"
+        assert AdaptiveSnapshotPolicy(100).describe() == "adaptive(100B)"
+
+
+class TestAdaptivePolicy:
+    def test_huge_threshold_never_snapshots(self):
+        store = _populate(
+            TemporalDocumentStore(
+                snapshot_policy=AdaptiveSnapshotPolicy(10**9)
+            )
+        )
+        assert store.record("d.xml").dindex.snapshot_numbers() == []
+
+    def test_small_threshold_bounds_accumulated_delta_bytes(self):
+        threshold = 200
+        store = _populate(
+            TemporalDocumentStore(
+                snapshot_policy=AdaptiveSnapshotPolicy(threshold)
+            )
+        )
+        dindex = store.record("d.xml").dindex
+        snapshots = dindex.snapshot_numbers()
+        assert snapshots, "threshold small enough that it must fire"
+        # Between consecutive anchors the accumulated chain stays under the
+        # threshold until the final (tripping) version.
+        anchors = [1] + snapshots
+        for lo, hi in zip(anchors, anchors[1:]):
+            if hi - lo > 1:
+                assert dindex.delta_bytes_between(lo, hi - 1) <= threshold
+
+    def test_tighter_threshold_never_fewer_snapshots(self):
+        loose = _populate(
+            TemporalDocumentStore(
+                snapshot_policy=AdaptiveSnapshotPolicy(800)
+            )
+        )
+        tight = _populate(
+            TemporalDocumentStore(
+                snapshot_policy=AdaptiveSnapshotPolicy(200)
+            )
+        )
+        assert len(
+            tight.record("d.xml").dindex.snapshot_numbers()
+        ) >= len(loose.record("d.xml").dindex.snapshot_numbers())
+
+    def test_interval_knob_takes_precedence_when_both_set(self):
+        store = _populate(
+            TemporalDocumentStore(
+                snapshot_interval=3,
+                snapshot_policy=AdaptiveSnapshotPolicy(10**9),
+            )
+        )
+        assert store.record("d.xml").dindex.snapshot_numbers() == [3, 6, 9, 12]
+
+
+class TestStorageBytesReporting:
+    def test_fixed_interval_accounting_unchanged(self):
+        """E7's space comparison relies on these exact categories."""
+        store = _populate(TemporalDocumentStore(snapshot_interval=4))
+        stats = store.repository.storage_bytes()
+        assert stats["total"] == (
+            stats["current"] + stats["deltas"] + stats["snapshots"]
+        )
+        assert stats["snapshots"] > 0
+        assert stats["snapshot_count"] == 3
+        assert stats["snapshot_policy"] == "interval(4)"
+
+    def test_adaptive_policy_reported(self):
+        store = _populate(
+            TemporalDocumentStore(
+                snapshot_policy=AdaptiveSnapshotPolicy(300)
+            )
+        )
+        stats = store.repository.storage_bytes()
+        assert stats["snapshot_policy"] == "adaptive(300B)"
+        assert stats["snapshot_count"] == len(
+            store.record("d.xml").dindex.snapshot_numbers()
+        )
+
+    def test_no_policy_reported_as_none(self):
+        store = _populate(TemporalDocumentStore())
+        stats = store.repository.storage_bytes()
+        assert stats["snapshot_policy"] == "none"
+        assert stats["snapshot_count"] == 0
+        assert stats["snapshots"] == 0
