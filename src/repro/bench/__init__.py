@@ -1,5 +1,5 @@
 """Benchmark support: cost capture and paper-style table printing."""
 
-from .harness import CostMeter, Measurement, Table
+from .harness import CostMeter, Measurement, Table, relative_overhead
 
-__all__ = ["CostMeter", "Measurement", "Table"]
+__all__ = ["CostMeter", "Measurement", "Table", "relative_overhead"]

@@ -11,6 +11,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..obs import MetricsRegistry, metric_sources
+
 
 @dataclass
 class Measurement:
@@ -62,6 +64,11 @@ class Measurement:
 class CostMeter:
     """Context manager capturing disk/repository/index counter deltas.
 
+    A thin view over a :class:`~repro.obs.MetricsRegistry`: construction
+    registers every counter source of interest, ``measure()`` snapshots
+    the registry around the region and maps the key deltas onto a
+    :class:`Measurement` (the field names every benchmark reports).
+
     >>> meter = CostMeter(store=store, indexes=[fti])     # doctest: +SKIP
     >>> with meter.measure() as m:                         # doctest: +SKIP
     ...     run_query()
@@ -73,41 +80,37 @@ class CostMeter:
         self.stratum = stratum
         self.indexes = list(indexes)
         self.join_stats = join_stats  # a repro.index.stats.JoinStats, or None
+        registry = self.registry = MetricsRegistry()
+        if store is not None:
+            repo = store.repository
+            registry.register("store", repo.counter_snapshot)
+            registry.register(
+                "disk", lambda: store.disk.snapshot().as_dict()
+            )
+            registry.register("anchors", repo.anchor_stats)
+        if stratum is not None:
+            registry.register(
+                "stratum_disk", lambda: stratum.disk.snapshot().as_dict()
+            )
+            registry.register(
+                "stratum", lambda: {"version_reads": stratum.version_reads}
+            )
+        #: Registry prefixes whose lookups/postings_scanned feed the
+        #: Measurement's index columns (one per constituent index; the
+        #: hybrid FTI contributes both of its sides).
+        self._index_prefixes = []
+        for i, index in enumerate(self.indexes):
+            for j, (_label, source) in enumerate(
+                metric_sources(index, "index")
+            ):
+                prefix = f"idx{i}_{j}"
+                registry.register(prefix, source)
+                self._index_prefixes.append(prefix)
+        if join_stats is not None:
+            registry.register("join", join_stats)
 
     def _capture(self):
-        state = {}
-        if self.store is not None:
-            disk = self.store.disk.snapshot()
-            repo = self.store.repository
-            anchors = repo.anchor_stats
-            state["store"] = (
-                disk,
-                repo.delta_reads,
-                repo.snapshot_reads,
-                repo.current_reads,
-            )
-            state["anchors"] = (
-                anchors.forward_chains,
-                anchors.backward_chains,
-                anchors.delta_reads_saved,
-                anchors.range_scans,
-            )
-        if self.stratum is not None:
-            state["stratum"] = (
-                self.stratum.disk.snapshot(),
-                self.stratum.version_reads,
-            )
-        state["indexes"] = [
-            (index.stats.lookups, index.stats.postings_scanned)
-            for index in self.indexes
-        ]
-        if self.join_stats is not None:
-            state["join"] = (
-                self.join_stats.candidates_probed,
-                self.join_stats.candidates_scanned,
-                self.join_stats.matches_emitted,
-            )
-        return state
+        return self.registry.snapshot()
 
     def measure(self):
         return _Region(self)
@@ -125,47 +128,61 @@ class _Region:
 
     def __exit__(self, exc_type, exc, tb):
         wall_ms = (time.perf_counter() - self._t0) * 1000.0
-        after = self._meter._capture()
-        before = self._before
+        d = MetricsRegistry.delta(self._before, self._meter._capture())
         measurement = Measurement(wall_ms=wall_ms)
-        if "store" in after:
-            disk_after, dr_a, sr_a, cr_a = after["store"]
-            disk_before, dr_b, sr_b, cr_b = before["store"]
-            diff = disk_after - disk_before
-            measurement.seeks += diff.seeks
-            measurement.pages_read += diff.pages_read
-            measurement.pages_written += diff.pages_written
-            measurement.delta_reads = dr_a - dr_b
-            measurement.snapshot_reads = sr_a - sr_b
-            measurement.current_reads = cr_a - cr_b
-        if "anchors" in after:
-            fc_a, bc_a, saved_a, rs_a = after["anchors"]
-            fc_b, bc_b, saved_b, rs_b = before["anchors"]
-            measurement.forward_chains = fc_a - fc_b
-            measurement.backward_chains = bc_a - bc_b
-            measurement.anchor_reads_saved = saved_a - saved_b
-            measurement.range_scans = rs_a - rs_b
-        if "stratum" in after:
-            disk_after, vr_a = after["stratum"]
-            disk_before, vr_b = before["stratum"]
-            diff = disk_after - disk_before
-            measurement.seeks += diff.seeks
-            measurement.pages_read += diff.pages_read
-            measurement.pages_written += diff.pages_written
-            measurement.version_reads = vr_a - vr_b
-        for (lk_a, ps_a), (lk_b, ps_b) in zip(
-            after["indexes"], before["indexes"]
-        ):
-            measurement.lookups += lk_a - lk_b
-            measurement.postings_scanned += ps_a - ps_b
-        if "join" in after:
-            probed_a, scanned_a, matches_a = after["join"]
-            probed_b, scanned_b, matches_b = before["join"]
-            measurement.join_candidates_probed = probed_a - probed_b
-            measurement.join_candidates_scanned = scanned_a - scanned_b
-            measurement.join_matches = matches_a - matches_b
+        measurement.seeks = (
+            d.get("disk.seeks", 0) + d.get("stratum_disk.seeks", 0)
+        )
+        measurement.pages_read = (
+            d.get("disk.pages_read", 0) + d.get("stratum_disk.pages_read", 0)
+        )
+        measurement.pages_written = (
+            d.get("disk.pages_written", 0)
+            + d.get("stratum_disk.pages_written", 0)
+        )
+        measurement.delta_reads = d.get("store.delta_reads", 0)
+        measurement.snapshot_reads = d.get("store.snapshot_reads", 0)
+        measurement.current_reads = d.get("store.current_reads", 0)
+        measurement.version_reads = d.get("stratum.version_reads", 0)
+        measurement.forward_chains = d.get("anchors.forward_chains", 0)
+        measurement.backward_chains = d.get("anchors.backward_chains", 0)
+        measurement.anchor_reads_saved = d.get("anchors.delta_reads_saved", 0)
+        measurement.range_scans = d.get("anchors.range_scans", 0)
+        for prefix in self._meter._index_prefixes:
+            measurement.lookups += d.get(f"{prefix}.lookups", 0)
+            measurement.postings_scanned += d.get(
+                f"{prefix}.postings_scanned", 0
+            )
+        measurement.join_candidates_probed = d.get("join.candidates_probed", 0)
+        measurement.join_candidates_scanned = d.get(
+            "join.candidates_scanned", 0
+        )
+        measurement.join_matches = d.get("join.matches_emitted", 0)
         self.result = measurement
         return False
+
+
+def relative_overhead(baseline_fn, candidate_fn, repeats=5, inner=20):
+    """Wall-clock overhead of ``candidate_fn`` relative to ``baseline_fn``.
+
+    Runs each thunk ``inner`` times per sample, takes the best of
+    ``repeats`` samples for both sides (best-of-N is the standard
+    noise-robust estimator for "how fast *can* this go"), and returns
+    ``(candidate - baseline) / baseline``.  The observability overhead
+    guard asserts this stays under 5% for the disabled tracer.
+    """
+    def best(fn):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    base = best(baseline_fn)
+    candidate = best(candidate_fn)
+    return (candidate - base) / base if base else 0.0
 
 
 @dataclass

@@ -53,6 +53,18 @@ def build_parser():
     explain.add_argument("text", help="the TXQL query")
     explain.set_defaults(handler=_cmd_explain)
 
+    trace = with_archive(
+        "trace",
+        "EXPLAIN ANALYZE a TXQL query: run it under the tracer and print "
+        "the per-operator cost tree",
+    )
+    trace.add_argument("text", help="the TXQL query")
+    trace.add_argument("--json", action="store_true",
+                       help="print the JSON trace instead of the tree")
+    trace.add_argument("-o", "--out", metavar="FILE",
+                       help="also write the JSON trace to FILE")
+    trace.set_defaults(handler=_cmd_trace)
+
     put = with_archive("put", "create a document from an XML file")
     put.add_argument("name", help="document name")
     put.add_argument("file", help="XML source file")
@@ -164,9 +176,10 @@ def _cmd_demo(args, out):
 def _cmd_query(args, out):
     db = _open(args)
     result = db.query(args.text)
-    if args.xml:
+    if args.xml and hasattr(result, "to_xml_string"):
         print(result.to_xml_string(), file=out)
     else:
+        # EXPLAIN [ANALYZE] queries return reports, which render as text.
         print(result, file=out)
     return 0
 
@@ -174,6 +187,20 @@ def _cmd_query(args, out):
 def _cmd_explain(args, out):
     db = _open(args)
     print(db.engine.explain_text(args.text), file=out)
+    return 0
+
+
+def _cmd_trace(args, out):
+    db = _open(args)
+    report = db.trace(args.text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json_string())
+            handle.write("\n")
+    if args.json:
+        print(report.to_json_string(), file=out)
+    else:
+        print(report.render(), file=out)
     return 0
 
 

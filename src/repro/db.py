@@ -93,8 +93,17 @@ class TemporalXMLDatabase:
     # -- queries ------------------------------------------------------------------
 
     def query(self, text):
-        """Execute TXQL text; returns a ResultSet."""
+        """Execute TXQL text; returns a ResultSet.
+
+        ``EXPLAIN`` / ``EXPLAIN ANALYZE`` queries return plan/trace
+        reports instead (see :mod:`repro.obs`)."""
         return self.engine.execute(text)
+
+    def trace(self, text):
+        """EXPLAIN ANALYZE a query: execute it under a tracer and return
+        the :class:`~repro.obs.ExplainAnalyzeReport` (per-operator tree,
+        JSON-exportable)."""
+        return self.engine.explain_analyze(text)
 
     # -- persistence ------------------------------------------------------------------
 

@@ -57,6 +57,9 @@ class DeltaOperationIndex:
     """Inverted lists of change events, keyed by content word *and* by
     operation keyword."""
 
+    #: Prefix this index's ``stats`` register under in a MetricsRegistry.
+    metrics_label = "delta_fti"
+
     def __init__(self):
         self._by_word = {}  # word -> list[EventPosting]
         self._by_op = {}    # op keyword -> list[EventPosting]

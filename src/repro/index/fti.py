@@ -50,6 +50,9 @@ def _start(posting):
 class TemporalFullTextIndex:
     """Inverted lists of interval postings over all documents."""
 
+    #: Prefix this index's ``stats`` register under in a MetricsRegistry.
+    metrics_label = "fti"
+
     def __init__(self):
         self._lists = {}      # word -> list[Posting], sorted by start
         self._open_lists = {}  # word -> open postings only, sorted by start

@@ -18,9 +18,20 @@ from .fti import TemporalFullTextIndex
 class HybridIndex:
     """Both a content index and a delta-operation index, kept in lockstep."""
 
+    #: Composite label; ``metric_sources`` exposes each side separately.
+    metrics_label = "hybrid"
+
     def __init__(self):
         self.content = TemporalFullTextIndex()
         self.operations = DeltaOperationIndex()
+
+    def metric_sources(self):
+        """Registry sources: the two constituent indexes, under their own
+        labels (so the content side still answers ``fti.*`` queries)."""
+        return [
+            (self.content.metrics_label, self.content.stats),
+            (self.operations.metrics_label, self.operations.stats),
+        ]
 
     # -- store observer ------------------------------------------------------
 

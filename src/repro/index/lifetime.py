@@ -24,6 +24,9 @@ from .stats import IndexStats
 class LifetimeIndex:
     """EID → (create_ts, delete_ts or None while alive)."""
 
+    #: Prefix this index's ``stats`` register under in a MetricsRegistry.
+    metrics_label = "lifetime"
+
     def __init__(self):
         self._spans = {}  # EID -> [create_ts, delete_ts | None]
         self.stats = IndexStats()

@@ -68,7 +68,28 @@ class IndexStats:
             "scan_efficiency": round(self.scan_efficiency, 3),
         }
 
+    def snapshot(self):
+        """Raw counters for the :class:`~repro.obs.MetricsRegistry` delta
+        protocol — cumulative values only, no derived ratios.  ``postings``
+        and ``bytes`` are gauges (they may shrink); everything else is
+        monotone."""
+        return {
+            "postings": self.postings,
+            "bytes": self.bytes,
+            "postings_opened": self.postings_opened,
+            "postings_closed": self.postings_closed,
+            "update_ops": self.update_ops,
+            "lookups": self.lookups,
+            "postings_scanned": self.postings_scanned,
+            "postings_returned": self.postings_returned,
+        }
+
     def reset_query_counters(self):
+        """Zero the query-side counters only (legacy per-query accounting).
+
+        Prefer registry deltas for per-query numbers: snapshot before and
+        after, subtract — no reset, no drift between objects that reset
+        different subsets."""
         self.lookups = 0
         self.postings_scanned = 0
         self.postings_returned = 0
@@ -117,7 +138,22 @@ class JoinStats:
             else "inf",
         }
 
+    def snapshot(self):
+        """Raw counters for the registry delta protocol (all monotone)."""
+        return {
+            "joins": self.joins,
+            "docs_considered": self.docs_considered,
+            "candidates_probed": self.candidates_probed,
+            "candidates_scanned": self.candidates_scanned,
+            "intervals_pruned": self.intervals_pruned,
+            "matches_emitted": self.matches_emitted,
+        }
+
     def reset(self):
+        """Zero everything (legacy).  As with
+        :meth:`IndexStats.reset_query_counters`, prefer registry deltas —
+        resetting a shared stats object mid-flight skews every other
+        consumer's accounting."""
         self.joins = 0
         self.docs_considered = 0
         self.candidates_probed = 0

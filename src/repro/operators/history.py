@@ -25,17 +25,19 @@ entirely, and ElementHistory copies only the matched subtree.
 from __future__ import annotations
 
 from ..model.identifiers import TEID
+from ..obs import NULL_TRACER
 
 
 class DocHistory:
     """All versions of one document valid in ``[start, end)``."""
 
-    def __init__(self, store, document, start, end):
+    def __init__(self, store, document, start, end, tracer=None):
         """``document`` is a name or doc_id."""
         self.store = store
         self.record = store.record(document)
         self.start = start
         self.end = end
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self):
         """List of ``(TEID, tree)`` — TEIDs are document roots — newest
@@ -67,6 +69,8 @@ class DocHistory:
         sweep = repository.reconstruct_range(
             record, entries[0].number, entries[-1].number, newest_first=True
         )
+        sweep = self.tracer.traced_iter("DocHistory", sweep,
+                                        document=record.name)
         # versions_in returns contiguous entries oldest-first; the sweep
         # yields the same numbers newest-first, so they zip exactly.
         for entry, (number, tree, xids) in zip(reversed(entries), sweep):

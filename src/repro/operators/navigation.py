@@ -1,14 +1,26 @@
 """PreviousTS, NextTS, CurrentTS (Section 7.3.7).
 
 "These operators can be evaluated by a lookup in the delta index for a
-particular document."  No document data is read; each call is a pure delta
-index lookup.  The returned timestamp combined with the input EID (i.e. a
-TEID) can then be fed to ``Reconstruct`` to fetch the version itself.
+particular document."  The ``*_ts`` functions are exactly that — a pure
+delta-index lookup, no document data read.
+
+The ``*_teid`` variants additionally verify that the element *exists* in
+the neighbouring version before minting a TEID for it.  A timestamp lookup
+alone is not enough: an element created (or deleted) by the very commit
+separating the two versions has a neighbouring version timestamp but no
+presence there, and the dangling TEID would only blow up later, inside
+``Reconstruct`` or ``CreTime``.  The existence check reads the single
+delta that crosses the boundary (delta *v* leads from version *v* to
+*v+1*) — one delta read, never a reconstruction; ``current_teid`` probes
+the in-memory current tree's XID index instead (no read at all).  Dangling
+navigations return ``None``, the same answer as navigating past either end
+of the history.
 """
 
 from __future__ import annotations
 
 from ..model.identifiers import TEID
+from .lifetime import script_creates, script_deletes
 
 
 def previous_ts(store, teid):
@@ -35,23 +47,48 @@ def current_ts(store, eid):
 
 
 def previous_teid(store, teid):
-    """TEID of the previous version of the same element (``None`` at the
-    first version)."""
+    """TEID of the previous version of the same element.
+
+    ``None`` at the first version — and ``None`` when the element does not
+    exist in the previous version because the delta leading to ``teid``'s
+    version is the one that created it.
+    """
     ts = previous_ts(store, teid)
     if ts is None:
+        return None
+    record = store.record(teid.doc_id)
+    entry = record.dindex.version_at(teid.timestamp)
+    # Delta (number-1) transforms the previous version into this one; if it
+    # introduces the XID, there is no previous incarnation to navigate to.
+    script = store.repository.read_delta(record, entry.number - 1)
+    if script_creates(script, teid.xid):
         return None
     return TEID(teid.doc_id, teid.xid, ts)
 
 
 def next_teid(store, teid):
+    """TEID of the next version of the same element.
+
+    ``None`` at the last version — and ``None`` when the element does not
+    exist in the next version because the delta leaving ``teid``'s version
+    deletes it.
+    """
     ts = next_ts(store, teid)
     if ts is None:
+        return None
+    record = store.record(teid.doc_id)
+    entry = record.dindex.version_at(teid.timestamp)
+    # Delta (number) transforms this version into the next one; if it
+    # removes the XID, the element has no next incarnation.
+    script = store.repository.read_delta(record, entry.number)
+    if script_deletes(script, teid.xid):
         return None
     return TEID(teid.doc_id, teid.xid, ts)
 
 
 def current_teid(store, eid):
-    ts = current_ts(store, eid)
-    if ts is None:
-        return None
-    return TEID(eid.doc_id, eid.xid, ts)
+    """TEID of the element's current version (``None`` when the document
+    is deleted *or* the element is absent from the current tree)."""
+    # The store's probe checks presence against the current root's lazily
+    # built XID index — in memory, no logical read.
+    return store.current_teid(eid.doc_id, eid.xid)

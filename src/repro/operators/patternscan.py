@@ -20,13 +20,14 @@ materialize out-of-scope postings.  Per-operator join work is counted in
 from __future__ import annotations
 
 from ..index.stats import JoinStats
+from ..obs import NULL_TRACER
 from ..pattern.structjoin import structural_join
 
 
 class PatternScan:
     """Match ``pattern`` against all currently valid documents."""
 
-    def __init__(self, fti, pattern, docs=None, stats=None):
+    def __init__(self, fti, pattern, docs=None, stats=None, tracer=None):
         """``docs`` optionally restricts matching to a set of doc_ids
         (the operator's forest argument; ``None`` means the whole base).
         ``stats`` is a shared :class:`JoinStats` to accumulate into."""
@@ -34,15 +35,18 @@ class PatternScan:
         self.pattern = pattern
         self.docs = set(docs) if docs is not None else None
         self.join_stats = stats if stats is not None else JoinStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self):
         """Iterator of :class:`~repro.pattern.structjoin.PatternMatch`."""
-        posting_lists = [
-            self.fti.lookup(node.term, docs=self.docs)
-            for node in self.pattern.nodes()
-        ]
+        with self.tracer.span("FTILookup",
+                              terms=len(self.pattern.nodes())):
+            posting_lists = [
+                self.fti.lookup(node.term, docs=self.docs)
+                for node in self.pattern.nodes()
+            ]
         return structural_join(self.pattern, posting_lists, docs=self.docs,
-                               stats=self.join_stats)
+                               stats=self.join_stats, tracer=self.tracer)
 
     def teids(self):
         """TEIDs of the projected pattern node, one per match (lazy)."""

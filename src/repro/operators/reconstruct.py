@@ -12,14 +12,16 @@ pattern-scan match.
 from __future__ import annotations
 
 from ..errors import NoSuchVersionError
+from ..obs import NULL_TRACER
 
 
 class Reconstruct:
     """Materialize one element version."""
 
-    def __init__(self, store, teid):
+    def __init__(self, store, teid, tracer=None):
         self.store = store
         self.teid = teid
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self):
         """The subtree (whole document when the TEID names the root).
@@ -29,7 +31,8 @@ class Reconstruct:
         that version — a reconstructed TEID should always resolve, so a
         miss indicates a stale identifier rather than an empty result.
         """
-        tree = self.store.snapshot(self.teid.doc_id, self.teid.timestamp)
+        with self.tracer.span("Reconstruct", teid=str(self.teid)):
+            tree = self.store.snapshot(self.teid.doc_id, self.teid.timestamp)
         if tree is None:
             raise NoSuchVersionError(
                 f"no version of document {self.teid.doc_id} at "

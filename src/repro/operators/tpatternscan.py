@@ -25,28 +25,33 @@ repository's bidirectional anchors) instead of reconstructing per row.
 from __future__ import annotations
 
 from ..index.stats import JoinStats
+from ..obs import NULL_TRACER
 from ..pattern.structjoin import structural_join
 
 
 class TPatternScan:
     """Snapshot pattern scan at time ``ts``; outputs TEIDs at that time."""
 
-    def __init__(self, fti, pattern, ts, docs=None, store=None, stats=None):
+    def __init__(self, fti, pattern, ts, docs=None, store=None, stats=None,
+                 tracer=None):
         self.fti = fti
         self.pattern = pattern
         self.ts = ts
         self.docs = set(docs) if docs is not None else None
         self.store = store
         self.join_stats = stats if stats is not None else JoinStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self):
         """Iterator of matches at the queried instant."""
-        posting_lists = [
-            self.fti.lookup_t(node.term, self.ts, docs=self.docs)
-            for node in self.pattern.nodes()
-        ]
+        with self.tracer.span("FTILookup",
+                              terms=len(self.pattern.nodes())):
+            posting_lists = [
+                self.fti.lookup_t(node.term, self.ts, docs=self.docs)
+                for node in self.pattern.nodes()
+            ]
         return structural_join(self.pattern, posting_lists, docs=self.docs,
-                               stats=self.join_stats)
+                               stats=self.join_stats, tracer=self.tracer)
 
     def teids(self):
         """TEIDs of the projected node (lazy); timestamps are normalized to
@@ -62,21 +67,25 @@ class TPatternScan:
 class TPatternScanAll:
     """Pattern scan over the whole history; a temporal multiway join."""
 
-    def __init__(self, fti, pattern, docs=None, store=None, stats=None):
+    def __init__(self, fti, pattern, docs=None, store=None, stats=None,
+                 tracer=None):
         self.fti = fti
         self.pattern = pattern
         self.docs = set(docs) if docs is not None else None
         self.store = store
         self.join_stats = stats if stats is not None else JoinStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self):
         """Iterator of matches with their maximal validity intervals."""
-        posting_lists = [
-            self.fti.lookup_h(node.term, docs=self.docs)
-            for node in self.pattern.nodes()
-        ]
+        with self.tracer.span("FTILookup",
+                              terms=len(self.pattern.nodes())):
+            posting_lists = [
+                self.fti.lookup_h(node.term, docs=self.docs)
+                for node in self.pattern.nodes()
+            ]
         return structural_join(self.pattern, posting_lists, docs=self.docs,
-                               stats=self.join_stats)
+                               stats=self.join_stats, tracer=self.tracer)
 
     def teids(self):
         """One TEID per match interval, at the interval's first version

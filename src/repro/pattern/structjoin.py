@@ -74,20 +74,27 @@ class PatternMatch:
         return tuple(p.xid for p in self.postings)
 
 
-def structural_join(pattern, posting_lists, docs=None, stats=None):
+def structural_join(pattern, posting_lists, docs=None, stats=None,
+                    tracer=None):
     """Join the posting lists of all pattern nodes; yields matches lazily.
 
     ``posting_lists[i]`` holds the candidates for pre-order node ``i``.
     ``docs`` optionally names the requested document set (enables the
     single-document fast path that skips per-document grouping).  ``stats``
-    is a :class:`~repro.index.stats.JoinStats` to accumulate into.
+    is a :class:`~repro.index.stats.JoinStats` to accumulate into;
+    ``tracer`` (a :class:`~repro.obs.Tracer`) charges the join's work to a
+    ``StructuralJoin`` span, one row per emitted match.
     """
     nodes = pattern.nodes()
     if len(posting_lists) != len(nodes):
         raise ValueError("one posting list per pattern node required")
     if stats is None:
         stats = JoinStats()
-    return _join_iter(pattern, posting_lists, docs, stats)
+    matches = _join_iter(pattern, posting_lists, docs, stats)
+    if tracer is not None and tracer.enabled:
+        matches = tracer.traced_iter("StructuralJoin", matches,
+                                     terms=len(nodes))
+    return matches
 
 
 def _join_iter(pattern, posting_lists, docs, stats):

@@ -182,6 +182,10 @@ class Query:
     ``limit`` caps the number of result rows; with streaming binding
     enumeration the executor stops the underlying index scan as soon as
     the cap is reached (early exit, not a post-filter).
+
+    ``explain`` marks an ``EXPLAIN`` prefix: ``None`` (run normally),
+    ``"plan"`` (describe without executing) or ``"analyze"`` (execute
+    under a tracer and return the per-operator report).
     """
 
     select_items: list
@@ -189,6 +193,7 @@ class Query:
     where: Expr = None
     distinct: bool = False
     limit: int = None
+    explain: str = None
 
     def label(self):
         parts = ["SELECT"]

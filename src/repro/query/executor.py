@@ -13,12 +13,20 @@ results"), or as plain Python rows for programmatic use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import product
 
 from ..equality.value import coerce_scalar
 from ..errors import QueryPlanError
 from ..index.stats import JoinStats
+from ..obs import (
+    NULL_TRACER,
+    ExplainAnalyzeReport,
+    MetricsRegistry,
+    PlanReport,
+    Tracer,
+    metric_sources,
+)
 from ..xmlcore.node import Element, Text
 from ..xmlcore.serializer import serialize
 from .ast import AGGREGATES, FuncCall, Query, is_aggregate_expr
@@ -128,7 +136,8 @@ class ResultSet:
 class QueryEngine:
     """Executes TXQL against a store and its indexes."""
 
-    def __init__(self, store, fti=None, lifetime=None, options=None):
+    def __init__(self, store, fti=None, lifetime=None, options=None,
+                 tracer=None):
         self.store = store
         self.fti = fti
         self.lifetime = lifetime
@@ -146,6 +155,48 @@ class QueryEngine:
         #: (surfaced alongside the FTI's ``stats``; diffable per query with
         #: :class:`~repro.bench.CostMeter`).
         self.join_stats = JoinStats()
+        #: Every counter source in this engine, under one snapshot/delta
+        #: protocol (see :mod:`repro.obs.registry`).
+        self.registry = MetricsRegistry()
+        self._register_metric_sources()
+        #: Registry deltas of the most recent ``execute()`` call (per-query
+        #: costs without resetting anything).
+        self.last_query_stats = None
+        #: Capture ``last_query_stats`` on every execute (two registry
+        #: snapshots per query; flip off for overhead baselines).
+        self.collect_query_stats = True
+        self.tracer = NULL_TRACER
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    def _register_metric_sources(self):
+        registry = self.registry
+        store = self.store
+        if hasattr(store, "repository"):
+            repo = store.repository
+            registry.register("store", repo.counter_snapshot)
+            registry.register("disk", lambda: repo.disk.snapshot().as_dict())
+            registry.register("cache", repo.cache.stats)
+            registry.register("anchors", repo.anchor_stats)
+        if self.fti is not None:
+            for label, source in metric_sources(self.fti, "fti"):
+                registry.register(label, source)
+        if self.lifetime is not None:
+            registry.register(self.lifetime.metrics_label,
+                              self.lifetime.stats)
+        registry.register("join", self.join_stats)
+
+    # -- tracing --------------------------------------------------------------------
+
+    def attach_tracer(self, tracer):
+        """Trace subsequent queries; binds the tracer to this registry."""
+        if getattr(tracer, "enabled", False):
+            tracer.registry = self.registry
+        self.tracer = tracer
+        return tracer
+
+    def detach_tracer(self):
+        self.tracer = NULL_TRACER
 
     # -- time context ------------------------------------------------------------
 
@@ -211,15 +262,39 @@ class QueryEngine:
     # -- execution ------------------------------------------------------------------
 
     def execute(self, query):
-        """Run a query (TXQL text or parsed AST); returns a ResultSet."""
+        """Run a query (TXQL text or parsed AST); returns a ResultSet.
+
+        An ``EXPLAIN`` query returns a :class:`~repro.obs.PlanReport`
+        instead; ``EXPLAIN ANALYZE`` returns an
+        :class:`~repro.obs.ExplainAnalyzeReport` (executed under a tracer).
+        """
         if isinstance(query, str):
             query = parse_query(query)
         if not isinstance(query, Query):
             raise QueryPlanError("execute() takes TXQL text or a Query")
+        if query.explain is not None:
+            stripped = replace(query, explain=None)
+            if query.explain == "analyze":
+                return self.explain_analyze(stripped)
+            return PlanReport(stripped.label(), self.explain(stripped),
+                              self.explain_text(stripped))
 
+        before = self.registry.snapshot() if self.collect_query_stats else None
+        tracer = self.tracer
+        with tracer.span("Query", query=query.label(), limit=query.limit):
+            result = self._run(query)
+        if before is not None:
+            self.last_query_stats = MetricsRegistry.delta(
+                before, self.registry.snapshot()
+            )
+        return result
+
+    def _run(self, query):
+        tracer = self.tracer
         windows = {}
         if self.options.use_rewriter:
-            query, windows = rewrite(query, now=self.now())
+            with tracer.span("Rewrite"):
+                query, windows = rewrite(query, now=self.now())
         self.active_cache = SnapshotCache(self.store)
         binding_lists = [
             bind_from_item(self, item, query.where,
@@ -227,7 +302,11 @@ class QueryEngine:
             for item in query.from_items
         ]
         variables = query.variables()
-        rows = self._filtered_rows(variables, binding_lists, query.where)
+        rows = tracer.traced_iter(
+            "Filter",
+            self._filtered_rows(variables, binding_lists, query.where),
+            filtered=query.where is not None,
+        )
 
         aggregates = [is_aggregate_expr(e) for e in query.select_items]
         if any(aggregates):
@@ -235,11 +314,28 @@ class QueryEngine:
                 raise QueryPlanError(
                     "cannot mix aggregate and non-aggregate SELECT items"
                 )
-            result = self._aggregate(query, rows)
+            with tracer.span("Aggregate"):
+                result = self._aggregate(query, rows)
             if query.limit is not None:
                 result.rows = result.rows[: query.limit]
             return result
-        return self._project(query, rows, limit=query.limit)
+        with tracer.span("Project", distinct=query.distinct):
+            return self._project(query, rows, limit=query.limit)
+
+    def explain_analyze(self, query):
+        """Execute under a fresh tracer; returns the per-operator report."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.explain is not None:
+            query = replace(query, explain=None)
+        tracer = Tracer(self.registry)
+        saved = self.tracer
+        self.tracer = tracer
+        try:
+            result = self.execute(query)
+        finally:
+            self.tracer = saved
+        return ExplainAnalyzeReport(query.label(), result, tracer.roots[0])
 
     def _filtered_rows(self, variables, binding_lists, where):
         """Lazily enumerate satisfying rows.

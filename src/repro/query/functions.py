@@ -138,6 +138,7 @@ class Evaluator:
             bound.teid,
             strategy=self.engine.options.lifetime_strategy,
             lifetime_index=self.engine.lifetime,
+            tracer=self.engine.tracer,
         )
         return TimestampValue(operator.value())
 
@@ -148,6 +149,7 @@ class Evaluator:
             bound.teid,
             strategy=self.engine.options.lifetime_strategy,
             lifetime_index=self.engine.lifetime,
+            tracer=self.engine.tracer,
         )
         ts = operator.value()
         return TimestampValue(ts) if ts is not None else None

@@ -35,6 +35,8 @@ KEYWORDS = frozenset(
         "AS",
         "DOC",
         "LIMIT",
+        "EXPLAIN",
+        "ANALYZE",
     }
 )
 

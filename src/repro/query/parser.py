@@ -100,6 +100,9 @@ class _Parser:
     # -- grammar --------------------------------------------------------------
 
     def parse(self):
+        explain = None
+        if self._accept_keyword("EXPLAIN"):
+            explain = "analyze" if self._accept_keyword("ANALYZE") else "plan"
         self._expect_keyword("SELECT")
         distinct = self._accept_keyword("DISTINCT")
         select_items = [self._expr()]
@@ -118,7 +121,8 @@ class _Parser:
         if self._peek().kind != EOF:
             self._error("unexpected trailing input")
         self._check_variables(select_items, from_items, where)
-        return Query(select_items, from_items, where, distinct, limit)
+        return Query(select_items, from_items, where, distinct, limit,
+                     explain)
 
     def _limit_count(self):
         token = self._peek()

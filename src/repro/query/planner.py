@@ -56,10 +56,25 @@ def bind_from_item(engine, item, where, window=None):
     )
     if use_index:
         try:
-            return _index_bindings(engine, item, where, doc_ids, window)
+            bindings = _index_bindings(engine, item, where, doc_ids, window)
         except QueryPlanError:
             pass  # fall back to navigation (e.g. unindexable term)
-    return _nav_bindings(engine, item, doc_ids, window)
+        else:
+            operator = ("TPatternScanAll" if item.time_spec is EVERY
+                        else "TPatternScan")
+            return engine.tracer.traced_iter(
+                operator, bindings, variable=item.var, source=item.label()
+            )
+    return engine.tracer.traced_iter(
+        "NavScan", _deferred(_nav_bindings, engine, item, doc_ids, window),
+        variable=item.var, source=item.label(),
+    )
+
+
+def _deferred(fn, *args):
+    """Delay ``fn``'s (eager) work until the first ``next()``, so a traced
+    iterator charges it to the operator's span instead of the planner's."""
+    yield from fn(*args)
 
 
 def explain_from_item(engine, item, where, window=None):
@@ -159,14 +174,16 @@ def _index_bindings(engine, item, where, doc_ids, window=None):
 
     if item.time_spec is EVERY:
         scan = TPatternScanAll(engine.fti, pattern, docs=doc_ids,
-                               store=engine.store, stats=engine.join_stats)
+                               store=engine.store, stats=engine.join_stats,
+                               tracer=engine.tracer)
         return _expand_interval_matches(
-            engine, scan.run(), pattern, projected, steps, window
+            engine, scan, projected, steps, window
         )
 
     ts = engine.resolve_time(item.time_spec)
     scan = TPatternScan(engine.fti, pattern, ts, docs=doc_ids,
-                        store=engine.store, stats=engine.join_stats)
+                        store=engine.store, stats=engine.join_stats,
+                        tracer=engine.tracer)
     return _snapshot_bindings(engine, scan, projected, steps, ts)
 
 
@@ -186,14 +203,15 @@ def _snapshot_bindings(engine, scan, projected, steps, ts):
                            cache=engine.active_cache)
 
 
-def _expand_interval_matches(engine, matches, pattern, projected, steps,
-                             window=None):
+def _expand_interval_matches(engine, scan, projected, steps, window=None):
     """EVERY: one binding per document version covered by a match interval.
 
     The rewriter's time window clips the expansion — versions outside it
-    are never reconstructed (the Section 8 delta-read reduction)."""
+    are never reconstructed (the Section 8 delta-read reduction).  The scan
+    is started inside the generator body so its FTI lookups and join run
+    under the operator's span, not at plan time."""
     bindings = []
-    for match in matches:
+    for match in scan.run():
         posting = match.postings[projected]
         if not _anchored(posting.path, steps):
             continue
@@ -327,7 +345,8 @@ def _nav_bindings(engine, item, doc_ids, window=None):
             start = max(start, window.start)
             end = min(end, window.end)
         for doc_id in doc_ids:
-            history = DocHistory(engine.store, doc_id, start, end)
+            history = DocHistory(engine.store, doc_id, start, end,
+                                 tracer=engine.tracer)
             dindex = engine.store.delta_index(doc_id)
             for teid, tree in history:
                 entry = dindex.version_at(teid.timestamp)

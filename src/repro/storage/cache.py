@@ -57,6 +57,16 @@ class CacheStats:
             "saved_delta_reads": self.saved_delta_reads,
         }
 
+    def snapshot(self):
+        """Raw counters for the registry delta protocol (no ratios)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "saved_delta_reads": self.saved_delta_reads,
+        }
+
 
 class VersionCache:
     """LRU-bounded ``(doc_id, version_number) -> tree`` cache.

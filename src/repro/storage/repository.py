@@ -100,6 +100,21 @@ class AnchorStats:
             "delta_bytes_saved": self.delta_bytes_saved,
         }
 
+    def snapshot(self):
+        """Flat counters for the registry delta protocol; the per-kind
+        choice counts flatten to ``by_anchor.<kind>`` keys."""
+        out = {
+            "forward_chains": self.forward_chains,
+            "backward_chains": self.backward_chains,
+            "exact_anchors": self.exact_anchors,
+            "range_scans": self.range_scans,
+            "delta_reads_saved": self.delta_reads_saved,
+            "delta_bytes_saved": self.delta_bytes_saved,
+        }
+        for kind, count in self.by_anchor.items():
+            out[f"by_anchor.{kind}"] = count
+        return out
+
 
 @dataclass
 class DocumentRecord:
@@ -238,6 +253,14 @@ class Repository:
         record.dindex.deleted_at = ts
 
     # -- reads ------------------------------------------------------------------------
+
+    def counter_snapshot(self):
+        """The logical read counters, registry-protocol shaped."""
+        return {
+            "delta_reads": self.delta_reads,
+            "snapshot_reads": self.snapshot_reads,
+            "current_reads": self.current_reads,
+        }
 
     def read_current(self, record):
         """Read (and account) the complete current version; returns a copy."""

@@ -246,3 +246,49 @@ class TestExplain:
             'SELECT R FROM doc("guide.com")[EVERY]/restaurant R'
         )
         assert figure1_db.store.repository.delta_reads == 0
+
+
+class TestTrace:
+    QUERY = 'SELECT TIME(R), R/price FROM doc("guide.com")[EVERY]/restaurant R'
+
+    def _archive(self, guide_files):
+        archive, v1, v2 = guide_files
+        _run("put", "-a", str(archive), "guide.com", str(v1),
+             "--ts", "01/01/2001")
+        _run("update", "-a", str(archive), "guide.com", str(v2),
+             "--ts", "15/01/2001")
+        return archive
+
+    def test_trace_renders_operator_tree(self, guide_files):
+        archive = self._archive(guide_files)
+        code, out = _run("trace", "-a", str(archive), self.QUERY)
+        assert code == 0
+        for needle in ("Query", "TPatternScanAll", "Project", "rows: 2"):
+            assert needle in out
+
+    def test_trace_json_and_out_file(self, guide_files, tmp_path):
+        import json
+
+        archive = self._archive(guide_files)
+        target = tmp_path / "trace.json"
+        code, out = _run(
+            "trace", "-a", str(archive), "--json", "-o", str(target),
+            self.QUERY,
+        )
+        assert code == 0
+        printed = json.loads(out)
+        on_disk = json.loads(target.read_text())
+        assert printed == on_disk
+        assert printed["row_count"] == 2
+        assert printed["trace"]["name"] == "Query"
+
+    def test_query_explain_prefix_prints_report(self, guide_files):
+        archive = self._archive(guide_files)
+        code, out = _run(
+            "query", "-a", str(archive), "--xml",
+            "EXPLAIN ANALYZE " + self.QUERY,
+        )
+        assert code == 0
+        # reports have no XML envelope; the CLI falls back to text
+        assert "Query" in out
+        assert "total:" in out

@@ -246,3 +246,100 @@ class TestCreTimeDelTime:
                 "index",
                 lifetime,
             ).value()
+
+
+class TestNavigationDanglingRegression:
+    """PREVIOUS/NEXT/CURRENT must verify the XID exists in the target
+    version.  Akropolis lives only in version 2 (created by delta 1,
+    deleted by delta 2): every navigation away from it dangles, and an
+    earlier revision happily returned TEIDs addressing versions the
+    element was never part of.
+    """
+
+    def test_next_of_element_deleted_mid_history(self, setup):
+        store, _ = setup
+        assert next_teid(store, _akropolis_teid(store)) is None
+
+    def test_previous_of_element_created_mid_history(self, setup):
+        store, _ = setup
+        assert previous_teid(store, _akropolis_teid(store)) is None
+
+    def test_current_of_deleted_element(self, setup):
+        store, _ = setup
+        assert current_teid(store, _akropolis_teid(store).eid) is None
+
+    def test_surviving_element_still_navigates(self, setup):
+        store, _ = setup
+        teid = _napoli_teid(store, at=JAN_15)
+        assert previous_teid(store, teid).timestamp == JAN_01
+        assert next_teid(store, teid).timestamp == JAN_31
+        assert current_teid(store, teid.eid).timestamp == JAN_31
+
+    def test_existence_check_is_one_delta_scan(self, setup):
+        store, _ = setup
+        teid = _napoli_teid(store, at=JAN_15)
+        store.repository.delta_reads = 0
+        store.repository.current_reads = 0
+        store.repository.snapshot_reads = 0
+        previous_teid(store, teid)
+        next_teid(store, teid)
+        assert store.repository.delta_reads == 2  # one boundary delta each
+        assert store.repository.current_reads == 0  # no reconstruction
+        assert store.repository.snapshot_reads == 0
+
+
+class TestLifetimePhantomRegression:
+    """CreTime/DelTime traversal must not invent lifetimes for XIDs that
+    never existed in the addressed version.  An earlier revision of
+    CreTime fell through to "the document's first version" for any XID
+    with no creating delta below the addressed version — including XIDs
+    that never existed at all.
+    """
+
+    def test_cretime_bogus_xid_raises(self, setup):
+        store, _ = setup
+        bogus = TEID(store.doc_id("guide.com"), 999_999, JAN_15)
+        with pytest.raises(NoSuchVersionError):
+            CreTime(store, bogus, "traverse").value()
+
+    def test_deltime_bogus_xid_raises(self, setup):
+        store, _ = setup
+        bogus = TEID(store.doc_id("guide.com"), 999_999, JAN_15)
+        with pytest.raises(NoSuchVersionError):
+            DelTime(store, bogus, "traverse").value()
+
+    def test_cretime_addressed_before_creation_raises(self, setup):
+        store, _ = setup
+        early = _akropolis_teid(store, at=JAN_01)  # created 15/01
+        with pytest.raises(NoSuchVersionError):
+            CreTime(store, early, "traverse").value()
+
+    def test_deltime_addressed_before_creation_raises(self, setup):
+        store, _ = setup
+        early = _akropolis_teid(store, at=JAN_01)
+        with pytest.raises(NoSuchVersionError):
+            DelTime(store, early, "traverse").value()
+
+    def test_cretime_addressed_after_deletion_raises(self, setup):
+        store, _ = setup
+        gone = _akropolis_teid(store, at=JAN_31)  # deleted in v3
+        with pytest.raises(NoSuchVersionError):
+            CreTime(store, gone, "traverse").value()
+
+    def test_strategies_agree_on_phantoms(self, setup):
+        store, lifetime = setup
+        bogus = TEID(store.doc_id("guide.com"), 999_999, JAN_15)
+        with pytest.raises(NoSuchVersionError):
+            CreTime(store, bogus, "index", lifetime).value()
+        with pytest.raises(NoSuchVersionError):
+            CreTime(store, bogus, "traverse").value()
+
+    def test_verification_uses_no_reconstruction(self, setup):
+        store, _ = setup
+        bogus = TEID(store.doc_id("guide.com"), 999_999, JAN_15)
+        store.repository.current_reads = 0
+        store.repository.snapshot_reads = 0
+        with pytest.raises(NoSuchVersionError):
+            CreTime(store, bogus, "traverse").value()
+        assert store.repository.current_reads == 0
+        assert store.repository.snapshot_reads == 0
