@@ -118,6 +118,50 @@ def build_parser():
         help="report only; do not write a fresh checkpoint",
     )
     recover.set_defaults(handler=_cmd_recover)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve an archive or database directory over TCP "
+             "(snapshot-isolated reader sessions, one serialized writer)",
+    )
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("-a", "--archive", help="archive file (XML)")
+    source.add_argument(
+        "-d", "--dir",
+        help="durable database directory (checkpoint.xml + journal.bin)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one, printed on start)")
+    serve.add_argument(
+        "--durability", default="journal",
+        choices=["none", "journal", "fsync"],
+        help="journal mode when serving a directory",
+    )
+    serve.add_argument(
+        "--serve-for", type=float, metavar="SECONDS",
+        help="stop after SECONDS (for scripted runs); default: until ^C",
+    )
+    serve.add_argument("--json", action="store_true",
+                       help="print server stats as JSON on shutdown")
+    serve.set_defaults(handler=_cmd_serve)
+
+    replica = sub.add_parser(
+        "replica",
+        help="build a read replica by tailing a leader directory's "
+             "commit journal",
+    )
+    replica.add_argument(
+        "-d", "--dir", required=True,
+        help="the LEADER's database directory (read-only access)",
+    )
+    replica.add_argument("--query", metavar="TXQL",
+                         help="run one TXQL query against the replica")
+    replica.add_argument("--xml", action="store_true",
+                         help="print the <results> envelope for --query")
+    replica.add_argument("--json", action="store_true",
+                         help="print replication stats as JSON")
+    replica.set_defaults(handler=_cmd_replica)
     return parser
 
 
@@ -274,6 +318,73 @@ def _cmd_recover(args, out):
         path = db.checkpoint()
         print(f"fresh checkpoint written to {path}", file=out)
     db.close()
+    return 0
+
+
+def _cmd_serve(args, out):
+    import json as json_module
+    import threading
+
+    from .serving import ServingServer, SessionManager
+
+    if args.dir:
+        db = TemporalXMLDatabase.open(args.dir, durability=args.durability)
+        source = args.dir
+    else:
+        db = _open(args)
+        source = args.archive
+    manager = SessionManager(db)
+    server = ServingServer(manager, host=args.host, port=args.port)
+    host, port = server.start()
+    print(f"serving {source} on {host}:{port}", file=out, flush=True)
+    try:
+        if args.serve_for is not None:
+            threading.Event().wait(args.serve_for)
+        else:
+            threading.Event().wait()  # until interrupted
+    except KeyboardInterrupt:
+        pass
+    server.stop()
+    db.close()
+    if args.json:
+        print(json_module.dumps(server.stats(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        stats = server.stats()
+        print(
+            f"served {stats['requests']} request(s) on "
+            f"{stats['connections']} connection(s); "
+            f"{stats['manager']['commits']} commit(s) published",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_replica(args, out):
+    import json as json_module
+
+    from .serving import Replica
+
+    replica = Replica(args.dir)
+    replica.catch_up()
+    if args.query:
+        result = replica.query(args.query)
+        if args.xml and hasattr(result, "to_xml_string"):
+            print(result.to_xml_string(), file=out)
+        else:
+            print(result, file=out)
+    if args.json:
+        print(
+            json_module.dumps(replica.stats(), indent=2, sort_keys=True),
+            file=out,
+        )
+    elif not args.query:
+        stats = replica.stats()
+        print(
+            f"replica of {stats['directory']}: {stats['documents']} "
+            f"document(s), published seq {stats['published_seq']}",
+            file=out,
+        )
     return 0
 
 

@@ -22,6 +22,7 @@ Two sentinels structure the validity intervals used throughout the library:
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass
 
 from .errors import TimeError
@@ -251,6 +252,10 @@ class LogicalClock:
             raise TimeError("clock tick must be positive")
         self._now = start
         self._tick = tick
+        # Timestamp allocation must stay strictly monotone under concurrent
+        # commits (the MVCC read paths depend on it), so both advance
+        # operations are a single atomic read-modify-write.
+        self._lock = threading.Lock()
 
     def now(self):
         """Current time; does not advance the clock."""
@@ -261,15 +266,17 @@ class LogicalClock:
         step = self._tick if seconds is None else seconds
         if step <= 0:
             raise TimeError("clock can only move forward")
-        self._now += step
-        return self._now
+        with self._lock:
+            self._now += step
+            return self._now
 
     def advance_to(self, ts):
         """Jump forward to ``ts``; rejects travel into the past."""
-        if ts < self._now:
-            raise TimeError(
-                f"cannot move clock backwards ({format_timestamp(ts)} < "
-                f"{format_timestamp(self._now)})"
-            )
-        self._now = ts
-        return self._now
+        with self._lock:
+            if ts < self._now:
+                raise TimeError(
+                    f"cannot move clock backwards ({format_timestamp(ts)} < "
+                    f"{format_timestamp(self._now)})"
+                )
+            self._now = ts
+            return self._now

@@ -50,6 +50,7 @@ class TemporalXMLDatabase:
         cache_size=0,
         snapshot_policy=None,
         reconstruct_policy="cost",
+        disk=None,
     ):
         """``snapshot_interval`` materializes a full snapshot every k-th
         version of each document; ``clustered`` controls simulated disk
@@ -59,9 +60,12 @@ class TemporalXMLDatabase:
         ``snapshot_policy`` (e.g.
         :class:`~repro.storage.snapshots.AdaptiveSnapshotPolicy`) and
         ``reconstruct_policy`` (``"cost"``/``"backward"``/``"forward"``)
-        tune reconstruction — see ``docs/PERFORMANCE.md``."""
+        tune reconstruction — see ``docs/PERFORMANCE.md``.  ``disk``
+        replaces the default :class:`~repro.storage.page.DiskSimulator`
+        (e.g. one with ``latency_scale`` set, for the serving benchmarks)."""
         self.store = TemporalDocumentStore(
             clock=clock if clock is not None else LogicalClock(),
+            disk=disk,
             snapshot_interval=snapshot_interval,
             clustered=clustered,
             cache_size=cache_size,

@@ -111,3 +111,8 @@ class DiffError(TemporalXMLError):
 
 class TimeError(TemporalXMLError):
     """Raised on invalid timestamps or malformed temporal literals."""
+
+
+class ServingError(TemporalXMLError):
+    """Raised by the serving layer: protocol violations, server-side
+    failures reported back to a :class:`~repro.serving.ServingClient`."""

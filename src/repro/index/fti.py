@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from bisect import bisect_right, insort_right
 
+from ..sync import RWLock
 from .postings import Posting, occurrences
 from .stats import IndexStats
 
@@ -48,7 +49,14 @@ def _start(posting):
 
 
 class TemporalFullTextIndex:
-    """Inverted lists of interval postings over all documents."""
+    """Inverted lists of interval postings over all documents.
+
+    Maintenance (the commit observer) and lookups run under a
+    write-preferring :class:`~repro.sync.RWLock`: any number of reader
+    sessions may look up together, a commit reconciles alone.  The
+    ``stats`` counters are updated inside shared read sections, so under
+    heavy concurrency they are monotone approximations, not exact counts.
+    """
 
     #: Prefix this index's ``stats`` register under in a MetricsRegistry.
     metrics_label = "fti"
@@ -58,14 +66,16 @@ class TemporalFullTextIndex:
         self._open_lists = {}  # word -> open postings only, sorted by start
         self._open = {}       # doc_id -> {(word, xid, ordinal): Posting}
         self.stats = IndexStats()
+        self._rwlock = RWLock()
 
     # -- store observer ---------------------------------------------------------
 
     def document_committed(self, event):
-        if event.kind in ("create", "update"):
-            self._reconcile(event.doc_id, event.root, event.timestamp)
-        elif event.kind == "delete":
-            self._close_all(event.doc_id, event.timestamp)
+        with self._rwlock.write_lock():
+            if event.kind in ("create", "update"):
+                self._reconcile(event.doc_id, event.root, event.timestamp)
+            elif event.kind == "delete":
+                self._close_all(event.doc_id, event.timestamp)
 
     def _reconcile(self, doc_id, root, ts):
         new_occurrences = occurrences(root, doc_id)
@@ -127,13 +137,14 @@ class TemporalFullTextIndex:
         during retrieval (the pattern operators' forest argument, pushed
         down so no full list is ever materialized just to be filtered).
         """
-        candidates = self._open_lists.get(word, ())
-        if docs is None:
-            result = list(candidates)
-        else:
-            result = [p for p in candidates if p.doc_id in docs]
-        self.stats.scanned(len(candidates), returned=len(result))
-        return result
+        with self._rwlock.read_lock():
+            candidates = self._open_lists.get(word, ())
+            if docs is None:
+                result = list(candidates)
+            else:
+                result = [p for p in candidates if p.doc_id in docs]
+            self.stats.scanned(len(candidates), returned=len(result))
+            return result
 
     def lookup_t(self, word, ts, docs=None):
         """``FTI_lookup_T``: occurrences in versions valid at time ``ts``.
@@ -141,41 +152,47 @@ class TemporalFullTextIndex:
         Bisects the start-sorted list: only postings with ``start <= ts``
         are examined at all.  ``docs`` restricts during retrieval.
         """
-        candidates = self._lists.get(word, [])
-        prefix = bisect_right(candidates, ts, key=_start)
-        result = [
-            p
-            for p in candidates[:prefix]
-            if p.end > ts and (docs is None or p.doc_id in docs)
-        ]
-        self.stats.scanned(prefix, returned=len(result))
-        return result
+        with self._rwlock.read_lock():
+            candidates = self._lists.get(word, [])
+            prefix = bisect_right(candidates, ts, key=_start)
+            result = [
+                p
+                for p in candidates[:prefix]
+                if p.end > ts and (docs is None or p.doc_id in docs)
+            ]
+            self.stats.scanned(prefix, returned=len(result))
+            return result
 
     def lookup_h(self, word, docs=None):
         """``FTI_lookup_H``: every posting over the whole history (sorted by
         interval start).  ``docs`` restricts during retrieval."""
-        candidates = self._lists.get(word, [])
-        if docs is None:
-            result = list(candidates)
-        else:
-            result = [p for p in candidates if p.doc_id in docs]
-        self.stats.scanned(len(candidates), returned=len(result))
-        return result
+        with self._rwlock.read_lock():
+            candidates = self._lists.get(word, [])
+            if docs is None:
+                result = list(candidates)
+            else:
+                result = [p for p in candidates if p.doc_id in docs]
+            self.stats.scanned(len(candidates), returned=len(result))
+            return result
 
     # -- introspection -----------------------------------------------------------------
 
     def words(self):
-        return list(self._lists)
+        with self._rwlock.read_lock():
+            return list(self._lists)
 
     def posting_count(self):
-        return sum(len(lst) for lst in self._lists.values())
+        with self._rwlock.read_lock():
+            return sum(len(lst) for lst in self._lists.values())
 
     def open_posting_count(self):
-        return sum(len(lst) for lst in self._open_lists.values())
+        with self._rwlock.read_lock():
+            return sum(len(lst) for lst in self._open_lists.values())
 
     def estimated_bytes(self):
-        return sum(
-            p.estimated_bytes()
-            for lst in self._lists.values()
-            for p in lst
-        )
+        with self._rwlock.read_lock():
+            return sum(
+                p.estimated_bytes()
+                for lst in self._lists.values()
+                for p in lst
+            )

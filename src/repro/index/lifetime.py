@@ -17,12 +17,17 @@ from __future__ import annotations
 
 from ..diff.editscript import DeleteOp, InsertOp, ReplaceRootOp
 from ..model.identifiers import EID
+from ..sync import RWLock
 from ..xmlcore.node import Element
 from .stats import IndexStats
 
 
 class LifetimeIndex:
-    """EID → (create_ts, delete_ts or None while alive)."""
+    """EID → (create_ts, delete_ts or None while alive).
+
+    Like the FTI, maintenance holds the write side of a
+    :class:`~repro.sync.RWLock` and lookups the read side, so concurrent
+    reader sessions never observe a commit's span batch half-applied."""
 
     #: Prefix this index's ``stats`` register under in a MetricsRegistry.
     metrics_label = "lifetime"
@@ -32,18 +37,20 @@ class LifetimeIndex:
         self.stats = IndexStats()
         self.commit_batches = 0
         self._entries_this_commit = 0
+        self._rwlock = RWLock()
 
     # -- store observer -----------------------------------------------------------
 
     def document_committed(self, event):
-        self._entries_this_commit = 0
-        if event.kind == "create":
-            self._open_subtree(event.doc_id, event.root, event.timestamp)
-        elif event.kind == "delete":
-            self._close_document(event.doc_id, event.timestamp)
-        elif event.kind == "update":
-            self._apply_script(event.doc_id, event.script, event.timestamp)
-        self.commit_batches += 1
+        with self._rwlock.write_lock():
+            self._entries_this_commit = 0
+            if event.kind == "create":
+                self._open_subtree(event.doc_id, event.root, event.timestamp)
+            elif event.kind == "delete":
+                self._close_document(event.doc_id, event.timestamp)
+            elif event.kind == "update":
+                self._apply_script(event.doc_id, event.script, event.timestamp)
+            self.commit_batches += 1
 
     def _apply_script(self, doc_id, script, ts):
         for op in script:
@@ -78,26 +85,31 @@ class LifetimeIndex:
 
     def create_time(self, eid):
         """Create time of the element, or ``None`` for unknown EIDs."""
-        self.stats.scanned(1)
-        span = self._spans.get(eid)
-        return span[0] if span else None
+        with self._rwlock.read_lock():
+            self.stats.scanned(1)
+            span = self._spans.get(eid)
+            return span[0] if span else None
 
     def delete_time(self, eid):
         """Delete time, or ``None`` while the element is still alive (or
         the EID is unknown — disambiguate with :meth:`known`)."""
-        self.stats.scanned(1)
-        span = self._spans.get(eid)
-        return span[1] if span else None
+        with self._rwlock.read_lock():
+            self.stats.scanned(1)
+            span = self._spans.get(eid)
+            return span[1] if span else None
 
     def known(self, eid):
-        return eid in self._spans
+        with self._rwlock.read_lock():
+            return eid in self._spans
 
     def lifespan(self, eid):
-        span = self._spans.get(eid)
-        return (span[0], span[1]) if span else None
+        with self._rwlock.read_lock():
+            span = self._spans.get(eid)
+            return (span[0], span[1]) if span else None
 
     def __len__(self):
-        return len(self._spans)
+        with self._rwlock.read_lock():
+            return len(self._spans)
 
 
 def _subtree(node):

@@ -68,11 +68,17 @@ class QueryOptions:
 
 
 class ResultSet:
-    """Materialized query results: named columns, plain-value rows."""
+    """Materialized query results: named columns, plain-value rows.
+
+    ``stats`` carries this execution's registry delta (the per-query
+    counters), attached by :meth:`QueryEngine.execute` — returned with the
+    result rather than only parked on the engine, so concurrently executing
+    queries each keep their own numbers."""
 
     def __init__(self, columns, rows):
         self.columns = columns
         self.rows = rows
+        self.stats = None
 
     def __len__(self):
         return len(self.rows)
@@ -159,12 +165,20 @@ class QueryEngine:
         #: protocol (see :mod:`repro.obs.registry`).
         self.registry = MetricsRegistry()
         self._register_metric_sources()
-        #: Registry deltas of the most recent ``execute()`` call (per-query
-        #: costs without resetting anything).
+        #: Registry deltas of the most recent ``execute()`` call.  Kept for
+        #: convenience on this engine; the same object is attached to the
+        #: returned ``ResultSet.stats``, which is the race-free way to read
+        #: per-query costs when engines are shared or queries interleave.
         self.last_query_stats = None
-        #: Capture ``last_query_stats`` on every execute (two registry
+        #: Capture per-query stats on every execute (two registry
         #: snapshots per query; flip off for overhead baselines).
         self.collect_query_stats = True
+        #: Snapshot-isolation pin (a commit timestamp) or ``None``.  When
+        #: set — by a serving :class:`~repro.serving.session.Session` — the
+        #: engine evaluates every query *as of* that instant: ``NOW`` is the
+        #: pin, EVERY scans stop at it, and CURRENT/NEXT/DELETE TIME do not
+        #: see past it, so results match a store quiesced at the pin.
+        self.pinned_now = None
         self.tracer = NULL_TRACER
         if tracer is not None:
             self.attach_tracer(tracer)
@@ -201,6 +215,8 @@ class QueryEngine:
     # -- time context ------------------------------------------------------------
 
     def now(self):
+        if self.pinned_now is not None:
+            return self.pinned_now
         return self.store.clock.now()
 
     def horizon_start(self):
@@ -210,6 +226,12 @@ class QueryEngine:
         return BEFORE_TIME + 1
 
     def horizon_end(self):
+        """Exclusive upper bound for EVERY scans.
+
+        A pinned engine stops just past the pin so versions committed
+        after it are invisible; versions committed *at* the pin are in."""
+        if self.pinned_now is not None:
+            return self.pinned_now + 1
         from ..clock import UNTIL_CHANGED
 
         return UNTIL_CHANGED - 1
@@ -284,9 +306,9 @@ class QueryEngine:
         with tracer.span("Query", query=query.label(), limit=query.limit):
             result = self._run(query)
         if before is not None:
-            self.last_query_stats = MetricsRegistry.delta(
-                before, self.registry.snapshot()
-            )
+            stats = MetricsRegistry.delta(before, self.registry.snapshot())
+            result.stats = stats
+            self.last_query_stats = stats
         return result
 
     def _run(self, query):

@@ -152,6 +152,11 @@ class Evaluator:
             tracer=self.engine.tracer,
         )
         ts = operator.value()
+        # Under a snapshot pin a deletion that happened after the pin has
+        # not happened yet from this query's point of view.
+        pin = self.engine.pinned_now
+        if pin is not None and ts is not None and ts > pin:
+            ts = None
         return TimestampValue(ts) if ts is not None else None
 
     def _fn_doctime(self, args, row):
@@ -172,12 +177,38 @@ class Evaluator:
     def _fn_next(self, args, row):
         bound = self._bound_arg(args, row, "NEXT")
         teid = next_teid(self.engine.store, bound.teid)
+        pin = self.engine.pinned_now
+        if pin is not None and teid is not None and teid.timestamp > pin:
+            teid = None  # the successor version is after the snapshot pin
         return self._navigate(bound, teid)
 
     def _fn_current(self, args, row):
         bound = self._bound_arg(args, row, "CURRENT")
-        teid = current_teid(self.engine.store, bound.eid)
+        pin = self.engine.pinned_now
+        if pin is None:
+            teid = current_teid(self.engine.store, bound.eid)
+        else:
+            teid = self._pinned_current_teid(bound.eid, pin)
         return self._navigate(bound, teid)
+
+    def _pinned_current_teid(self, eid, pin):
+        """CURRENT as of the snapshot pin: the element's version in the
+        document version valid at the pin (None when either is gone)."""
+        store = self.engine.store
+        entry = store.delta_index(eid.doc_id).version_at(pin)
+        if entry is None:
+            return None
+        cache = self.engine.active_cache
+        tree = (
+            cache.document_at(eid.doc_id, pin)
+            if cache is not None
+            else store.snapshot(eid.doc_id, pin)
+        )
+        if tree is None or tree.find_by_xid(eid.xid) is None:
+            return None
+        from ..model.identifiers import TEID
+
+        return TEID(eid.doc_id, eid.xid, entry.timestamp)
 
     def _navigate(self, bound, teid):
         if teid is None:

@@ -45,7 +45,9 @@ def bind_from_item(engine, item, where, window=None):
     """
     if window is not None and window.is_empty:
         return []
-    doc_ids = _resolve_documents(engine.store, item.url)
+    doc_ids = _resolve_documents(
+        engine.store, item.url, as_of=engine.pinned_now
+    )
     if not doc_ids:
         return []
     use_index = (
@@ -91,7 +93,9 @@ def explain_from_item(engine, item, where, window=None):
         info["reason"] = "rewriter window is empty"
         return info
     try:
-        doc_ids = _resolve_documents(engine.store, item.url)
+        doc_ids = _resolve_documents(
+            engine.store, item.url, as_of=engine.pinned_now
+        )
     except NoSuchDocumentError:
         info["strategy"] = "error"
         info["reason"] = f"unknown document {item.url!r}"
@@ -138,9 +142,19 @@ def explain_from_item(engine, item, where, window=None):
 # -- document resolution ---------------------------------------------------------
 
 
-def _resolve_documents(store, url):
-    """Doc ids named by ``url``; ``*``/``?`` make it a glob over all names."""
-    if any(ch in url for ch in "*?["):
+def _resolve_documents(store, url, as_of=None):
+    """Doc ids named by ``url``; ``*``/``?`` make it a glob over all names.
+
+    ``as_of`` (a pinned session's snapshot timestamp) resolves names
+    against the bindings that existed *at the pin*: documents created
+    after it are invisible (not even resolvable to an empty result), and
+    since a deleted name can be reused with fresh identity, the pinned
+    view picks the newest record of that name created at or before the
+    pin — exactly what a quiesced store at the pin would hold."""
+    is_glob = any(ch in url for ch in "*?[")
+    if as_of is not None:
+        return _resolve_as_of(store, url, as_of, is_glob)
+    if is_glob:
         return [
             store.doc_id(name)
             for name in store.documents(include_deleted=True)
@@ -152,6 +166,29 @@ def _resolve_documents(store, url):
         raise NoSuchDocumentError(
             f"query references unknown document {url!r}"
         ) from None
+
+
+def _resolve_as_of(store, url, as_of, is_glob):
+    # Walk records in doc-id (creation) order; the first record of each
+    # name fixes the name's enumeration position — matching the store's
+    # insertion-ordered name table — while the newest record created at
+    # or before the pin is the name's binding at the pin.  A record with
+    # no versions yet (a concurrent put() mid-commit) never binds.
+    bindings = {}  # name -> doc_id of the newest record created <= as_of
+    for record in store.repository.records():
+        name = record.name
+        if not (fnmatch(name, url) if is_glob else name == url):
+            continue
+        bindings.setdefault(name, None)
+        entries = record.dindex.entries
+        if entries and entries[0].timestamp <= as_of:
+            bindings[name] = record.doc_id  # later records shadow earlier
+    doc_ids = [doc_id for doc_id in bindings.values() if doc_id is not None]
+    if not doc_ids and not is_glob:
+        raise NoSuchDocumentError(
+            f"query references unknown document {url!r}"
+        )
+    return doc_ids
 
 
 # -- index strategy ----------------------------------------------------------------
@@ -216,12 +253,14 @@ def _expand_interval_matches(engine, scan, projected, steps, window=None):
         if not _anchored(posting.path, steps):
             continue
         start = match.interval.start
-        end = match.interval.end
+        # The scan horizon clips the expansion: a pinned engine (serving
+        # session) must not bind versions committed after its snapshot.
+        end = min(match.interval.end, engine.horizon_end())
         if window is not None:
             start = max(start, window.start)
             end = min(end, window.end)
-            if start >= end:
-                continue
+        if start >= end:
+            continue
         dindex = engine.store.delta_index(match.doc_id)
         for entry in dindex.versions_in(start, end):
             teid = TEID(match.doc_id, posting.xid, entry.timestamp)

@@ -1,0 +1,30 @@
+"""The concurrent serving layer: pinned reader sessions over a live writer.
+
+The store's transaction-time design (committed versions are immutable)
+gives snapshot isolation almost for free; this package adds the
+coordination on top:
+
+:class:`SessionManager` / :class:`Session` / :class:`PublishedState`
+    Epoch-style published-version pointer; many reader threads, one
+    serialized writer, no reader/writer blocking.
+:class:`ServingServer` / :class:`ServingClient`
+    A threaded TCP front end (newline-delimited JSON) and its client.
+:class:`Replica`
+    Journal-shipping read replicas tailing a leader's commit journal.
+
+See ``docs/SERVING.md`` for the design and guarantees.
+"""
+
+from .client import ServingClient
+from .replica import Replica
+from .server import ServingServer
+from .session import PublishedState, Session, SessionManager
+
+__all__ = [
+    "PublishedState",
+    "Replica",
+    "ServingClient",
+    "ServingServer",
+    "Session",
+    "SessionManager",
+]

@@ -1,0 +1,99 @@
+"""A thin blocking client for the serving protocol.
+
+Speaks the newline-delimited JSON protocol of
+:class:`~repro.serving.server.ServingServer`.  One client maps to one
+server-side session: queries see a stable snapshot until refreshed
+(queries refresh by default, matching the server).
+
+    client = ServingClient(host, port)
+    response = client.query('SELECT R FROM doc("guide.com")/restaurant R')
+    print(response["rows"])
+    client.close()
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from ..errors import ServingError
+
+
+class ServingClient:
+    """Blocking request/response client; raises :class:`ServingError` on
+    server-reported failures.  Not thread-safe — use one per thread."""
+
+    def __init__(self, host, port, timeout=30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- transport ------------------------------------------------------------
+
+    def request(self, op, **fields):
+        """Send one request and return the raw response dict (even when
+        ``ok`` is false); the typed helpers below raise instead."""
+        payload = {"op": op, **fields}
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServingError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def _call(self, op, **fields):
+        response = self.request(op, **fields)
+        if not response.get("ok"):
+            raise ServingError(
+                response.get("error", f"request {op!r} failed")
+            )
+        return response
+
+    # -- reads ----------------------------------------------------------------
+
+    def ping(self):
+        return self._call("ping")
+
+    def query(self, text, refresh=True, xml=False, stats=False):
+        return self._call(
+            "query", text=text, refresh=refresh, xml=xml, stats=stats
+        )
+
+    def trace(self, text, refresh=True):
+        return self._call("trace", text=text, refresh=refresh)
+
+    def refresh(self):
+        return self._call("refresh")["pinned"]
+
+    def pinned(self):
+        return self._call("pinned")["pinned"]
+
+    def stats(self):
+        return self._call("stats")
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, name, xml, ts=None):
+        return self._call("put", name=name, xml=xml, ts=ts)
+
+    def update(self, name, xml, ts=None):
+        return self._call("update", name=name, xml=xml, ts=ts)
+
+    def delete(self, name, ts=None):
+        return self._call("delete", name=name, ts=ts)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self):
+        try:
+            self.request("close")
+        except (OSError, ServingError):
+            pass
+        finally:
+            self._file.close()
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -28,6 +28,7 @@ Design points:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -74,6 +75,12 @@ class VersionCache:
     ``size=0`` disables the cache entirely: every operation is a no-op and
     all counters stay zero, so accounting benchmarks measure the uncached
     algorithm unchanged.
+
+    All operations (including ``stats`` mutation) run under one internal
+    ``threading.Lock``, so concurrent reader sessions and the committing
+    writer may share the cache freely; copies handed out and taken in are
+    made while the lock is held, so an entry can never be evicted from
+    under a caller mid-copy.
     """
 
     def __init__(self, size=0):
@@ -83,20 +90,24 @@ class VersionCache:
         self._entries = OrderedDict()  # (doc_id, number) -> private tree
         self._by_doc = {}              # doc_id -> set of cached numbers
         self.stats = CacheStats()
+        self._lock = threading.Lock()
 
     @property
     def enabled(self):
         return self.size > 0
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key):
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self):
         """Cached ``(doc_id, number)`` keys, least recently used first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     # -- read path ---------------------------------------------------------------
 
@@ -112,28 +123,38 @@ class VersionCache:
         :meth:`fetch` / :meth:`count_miss`)."""
         if not self.enabled:
             return None, None
-        numbers = self._by_doc.get(doc_id)
-        if not numbers:
-            return None, None
-        below = max((n for n in numbers if n <= number), default=None)
-        above = min((n for n in numbers if n >= number), default=None)
-        return below, above
+        with self._lock:
+            numbers = self._by_doc.get(doc_id)
+            if not numbers:
+                return None, None
+            below = max((n for n in numbers if n <= number), default=None)
+            above = min((n for n in numbers if n >= number), default=None)
+            return below, above
 
     def fetch(self, doc_id, number):
         """Take the cached tree for ``(doc_id, number)``; counts one hit.
 
         Raises ``KeyError`` when absent — callers pick the key from
-        :meth:`anchor_candidates` first."""
+        :meth:`anchor_candidates` first (and must be prepared for a
+        concurrent invalidation to have removed it since)."""
         key = (doc_id, number)
-        tree = self._entries[key]
-        self.stats.hits += 1
-        self._entries.move_to_end(key)
-        return tree.copy()
+        with self._lock:
+            tree = self._entries[key]
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return tree.copy()
 
     def count_miss(self):
         """Record that an enabled cache offered no usable anchor."""
         if self.enabled:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
+
+    def count_saved(self, delta_reads):
+        """Credit ``delta_reads`` saved vs. the uncached anchor choice."""
+        if self.enabled:
+            with self._lock:
+                self.stats.saved_delta_reads += delta_reads
 
     def lookup(self, doc_id, number, max_start):
         """Best cached starting point for reconstructing ``number``.
@@ -145,19 +166,20 @@ class VersionCache:
         """
         if not self.enabled:
             return None, None
-        numbers = self._by_doc.get(doc_id)
-        if numbers:
-            best = min(
-                (n for n in numbers if number <= n <= max_start),
-                default=None,
-            )
-            if best is not None:
-                self.stats.hits += 1
-                key = (doc_id, best)
-                self._entries.move_to_end(key)
-                return best, self._entries[key].copy()
-        self.stats.misses += 1
-        return None, None
+        with self._lock:
+            numbers = self._by_doc.get(doc_id)
+            if numbers:
+                best = min(
+                    (n for n in numbers if number <= n <= max_start),
+                    default=None,
+                )
+                if best is not None:
+                    self.stats.hits += 1
+                    key = (doc_id, best)
+                    self._entries.move_to_end(key)
+                    return best, self._entries[key].copy()
+            self.stats.misses += 1
+            return None, None
 
     # -- write path --------------------------------------------------------------
 
@@ -165,33 +187,37 @@ class VersionCache:
         """Remember ``tree`` as version ``number`` (a private copy is kept)."""
         if not self.enabled:
             return
+        copy = tree.copy()  # copy outside the lock; insertion inside
         key = (doc_id, number)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return
-        self._entries[key] = tree.copy()
-        self._by_doc.setdefault(doc_id, set()).add(number)
-        while len(self._entries) > self.size:
-            (old_doc, old_number), _tree = self._entries.popitem(last=False)
-            self._by_doc[old_doc].discard(old_number)
-            if not self._by_doc[old_doc]:
-                del self._by_doc[old_doc]
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = copy
+            self._by_doc.setdefault(doc_id, set()).add(number)
+            while len(self._entries) > self.size:
+                (old_doc, old_number), _tree = self._entries.popitem(last=False)
+                self._by_doc[old_doc].discard(old_number)
+                if not self._by_doc[old_doc]:
+                    del self._by_doc[old_doc]
+                self.stats.evictions += 1
 
     # -- invalidation ------------------------------------------------------------
 
     def invalidate(self, doc_id):
         """Drop every cached version of ``doc_id``; returns the count."""
-        numbers = self._by_doc.pop(doc_id, None)
-        if not numbers:
-            return 0
-        for number in numbers:
-            del self._entries[(doc_id, number)]
-        self.stats.invalidations += len(numbers)
-        return len(numbers)
+        with self._lock:
+            numbers = self._by_doc.pop(doc_id, None)
+            if not numbers:
+                return 0
+            for number in numbers:
+                del self._entries[(doc_id, number)]
+            self.stats.invalidations += len(numbers)
+            return len(numbers)
 
     def clear(self):
         """Drop everything (counters are kept)."""
-        self.stats.invalidations += len(self._entries)
-        self._entries.clear()
-        self._by_doc.clear()
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+            self._by_doc.clear()

@@ -385,10 +385,13 @@ def _load_document(repository, doc, path=None):
 
     # Install content and allocate simulated extents for the cost model.
     disk = repository.disk
-    record.current_root = current_root
-    record.current_bytes = len(serialize(current_root))
-    record.current_extent = disk.allocate(
-        record.current_bytes, cluster_key=("current", record.doc_id)
+    current_bytes = len(serialize(current_root))
+    current_extent = disk.allocate(
+        current_bytes, cluster_key=("current", record.doc_id)
+    )
+    record.set_current(
+        record.dindex.current_number, current_root, current_extent,
+        current_bytes,
     )
     for number, script in sorted(deltas.items()):
         entry = record.dindex.entry(number)

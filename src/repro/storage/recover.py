@@ -148,6 +148,19 @@ def recover_store(
 # -- journal record application ----------------------------------------------
 
 
+def apply_record(store, rec, observers=()):
+    """Idempotently apply one journal record to ``store``.
+
+    The public entry point for journal shipping: a read replica tails a
+    leader's commit journal and feeds every scanned record through here.
+    Records already contained in the store (keyed by document id and
+    version number) are skipped, so re-scanning a journal from the start
+    is always safe.  Returns True when the record changed the store (its
+    :class:`~repro.storage.store.CommitEvent` was fired at ``observers``).
+    """
+    return _apply_record(store, rec, observers)
+
+
 def _apply_record(store, rec, observers):
     """Apply one journal record if the store does not contain it yet.
 

@@ -27,6 +27,7 @@ cost model.  ``read_*`` methods always account the I/O before returning.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..diff.apply import apply_chain, apply_script
@@ -66,6 +67,10 @@ class Anchor:
     number: int      # version the anchor materializes
     anchor_bytes: int  # bytes read to materialize it (0 for cached trees)
     anchor_reads: int  # logical reads for the anchor itself (0 for cache)
+    #: For ``"current"`` anchors: the :class:`CurrentState` captured when the
+    #: candidate was enumerated, so materialization reads the same tree the
+    #: cost ranking priced even if a commit lands in between.
+    payload: object = None
 
 
 @dataclass
@@ -116,6 +121,22 @@ class AnchorStats:
         return out
 
 
+@dataclass(frozen=True)
+class CurrentState:
+    """The current version of one document as a single immutable value.
+
+    Readers running concurrently with the committing writer grab
+    ``record.current`` **once** and work from that object; the writer
+    publishes a new current version by swapping in a fresh ``CurrentState``
+    (one atomic attribute assignment), so a reader can never observe the
+    new version number paired with the old tree or extent."""
+
+    number: int    # version number this state materializes
+    root: object   # the complete current tree (kept even after delete)
+    extent: object  # simulated-disk placement of the current version
+    nbytes: int    # serialized size (the cost model's transfer volume)
+
+
 @dataclass
 class DocumentRecord:
     """Everything the repository keeps for one document."""
@@ -124,15 +145,38 @@ class DocumentRecord:
     name: str
     allocator: XIDAllocator = field(default_factory=XIDAllocator)
     dindex: DeltaIndex = field(default_factory=DeltaIndex)
-    current_root: object = None  # tree of the latest version (kept even after delete)
+    #: The atomically swapped :class:`CurrentState` (None before version 1).
+    current: object = None
     deltas: dict = field(default_factory=dict)  # version number -> EditScript
     snapshots: dict = field(default_factory=dict)  # version number -> tree
-    current_extent: object = None
-    current_bytes: int = 0
 
     @property
     def is_deleted(self):
         return self.dindex.is_deleted
+
+    # Compatibility views over the atomic state; each property performs one
+    # read of ``self.current``, so an individual view is always internally
+    # consistent (callers needing several fields together should take
+    # ``record.current`` themselves).
+
+    @property
+    def current_root(self):
+        state = self.current
+        return state.root if state is not None else None
+
+    @property
+    def current_extent(self):
+        state = self.current
+        return state.extent if state is not None else None
+
+    @property
+    def current_bytes(self):
+        state = self.current
+        return state.nbytes if state is not None else 0
+
+    def set_current(self, number, root, extent, nbytes):
+        """Publish a new current version (single atomic swap)."""
+        self.current = CurrentState(number, root, extent, nbytes)
 
 
 class Repository:
@@ -172,6 +216,9 @@ class Repository:
         self.snapshot_reads = 0
         self.current_reads = 0
         self.anchor_stats = AnchorStats()
+        # Read counters and anchor stats are bumped by every concurrent
+        # reader session; one lock keeps the increments exact.
+        self._stats_lock = threading.Lock()
 
     # -- record management ------------------------------------------------------
 
@@ -194,12 +241,12 @@ class Repository:
 
     def commit_initial(self, record, root, ts):
         """Store version 1 of a new document."""
-        record.current_root = root
-        record.current_bytes = _tree_bytes(root)
-        record.current_extent = self.disk.allocate(
-            record.current_bytes, cluster_key=("current", record.doc_id)
+        nbytes = _tree_bytes(root)
+        extent = self.disk.allocate(
+            nbytes, cluster_key=("current", record.doc_id)
         )
         record.dindex.append(VersionEntry(1, ts))
+        record.set_current(1, root, extent, nbytes)
 
     def commit_version(self, record, new_root, script, ts):
         """Store a new version: delta behind, new tree becomes current."""
@@ -218,12 +265,18 @@ class Repository:
 
         new_number = old_number + 1
         entry = VersionEntry(new_number, ts)
-        record.dindex.append(entry)
-        record.current_root = new_root
-        record.current_bytes = _tree_bytes(new_root)
-        record.current_extent = self.disk.allocate(
-            record.current_bytes, cluster_key=("current", record.doc_id)
+        new_bytes = _tree_bytes(new_root)
+        new_extent = self.disk.allocate(
+            new_bytes, cluster_key=("current", record.doc_id)
         )
+        # Ordering matters for lock-free readers: the delta for the old
+        # version is already in place (above), the delta-index entry appears
+        # next, and the new current state is published last — a reader that
+        # still sees the old CurrentState can roll it forward through the
+        # freshly stored delta, and one that sees the new state finds every
+        # structure it references already written.
+        record.dindex.append(entry)
+        record.set_current(new_number, new_root, new_extent, new_bytes)
 
         if self.snapshot_interval and new_number % self.snapshot_interval == 0:
             self.materialize_snapshot(record, new_number)
@@ -256,19 +309,25 @@ class Repository:
 
     def counter_snapshot(self):
         """The logical read counters, registry-protocol shaped."""
-        return {
-            "delta_reads": self.delta_reads,
-            "snapshot_reads": self.snapshot_reads,
-            "current_reads": self.current_reads,
-        }
+        with self._stats_lock:
+            return {
+                "delta_reads": self.delta_reads,
+                "snapshot_reads": self.snapshot_reads,
+                "current_reads": self.current_reads,
+            }
 
     def read_current(self, record):
         """Read (and account) the complete current version; returns a copy."""
-        if record.current_root is None:
+        state = record.current
+        if state is None:
             raise NoSuchVersionError(f"{record.name} has no stored version")
-        self.disk.read(record.current_extent)
-        self.current_reads += 1
-        return record.current_root.copy()
+        return self._read_current_state(state)
+
+    def _read_current_state(self, state):
+        self.disk.read(state.extent)
+        with self._stats_lock:
+            self.current_reads += 1
+        return state.root.copy()
 
     def read_delta(self, record, number):
         """Read (and account) the completed delta stored at ``number``."""
@@ -278,7 +337,8 @@ class Repository:
                 f"{record.name} has no delta for version {number}"
             )
         self.disk.read(record.dindex.entry(number).delta_extent)
-        self.delta_reads += 1
+        with self._stats_lock:
+            self.delta_reads += 1
         return script
 
     def read_snapshot(self, record, number):
@@ -288,7 +348,8 @@ class Repository:
                 f"{record.name} has no snapshot at version {number}"
             )
         self.disk.read(record.dindex.entry(number).snapshot_extent)
-        self.snapshot_reads += 1
+        with self._stats_lock:
+            self.snapshot_reads += 1
         return tree.copy()
 
     # -- anchor selection (cost model) ------------------------------------------------
@@ -309,8 +370,9 @@ class Repository:
     def _candidates(self, record, number, use_cache):
         """Candidate anchors for reconstructing ``number``, unpriced."""
         dindex = record.dindex
-        current_number = dindex.current_number
-        out = [Anchor("current", current_number, record.current_bytes, 1)]
+        state = record.current  # one consistent (number, root, extent) read
+        current_number = state.number
+        out = [Anchor("current", current_number, state.nbytes, 1, state)]
         after = dindex.nearest_snapshot_at_or_after(number)
         if after is not None and after.number < current_number:
             out.append(
@@ -383,11 +445,15 @@ class Repository:
         return self._cost(reads, nbytes), reads
 
     def _materialize_anchor(self, record, anchor):
-        """Read (and account) the chosen anchor; returns a private tree."""
+        """Read (and account) the chosen anchor; returns a private tree.
+
+        Raises ``KeyError`` for a cache anchor whose entry was invalidated
+        between candidate enumeration and the fetch (a concurrent commit);
+        :meth:`reconstruct` retries without the cache."""
         if anchor.kind == "cache":
             return self.cache.fetch(record.doc_id, anchor.number)
         if anchor.kind == "current":
-            return self.read_current(record)
+            return self._read_current_state(anchor.payload)
         return self.read_snapshot(record, anchor.number)
 
     # -- reconstruction (Section 7.3.3, bidirectional) --------------------------------
@@ -410,7 +476,16 @@ class Repository:
                 f"(current is {current_number})"
             )
         anchor, chain_reads, chain_bytes = self._choose_anchor(record, number)
-        tree = self._materialize_anchor(record, anchor)
+        try:
+            tree = self._materialize_anchor(record, anchor)
+        except KeyError:
+            # The cached anchor was invalidated by a concurrent commit after
+            # we enumerated it; fall back to the stored anchors, which are
+            # immutable once written.
+            anchor, chain_reads, chain_bytes = self._choose_anchor(
+                record, number, use_cache=False
+            )
+            tree = self._materialize_anchor(record, anchor)
         if anchor.kind != "cache":
             self.cache.count_miss()
         tree = self._apply_between(record, tree, anchor.number, number)
@@ -419,7 +494,7 @@ class Repository:
             _anchor, uncached_reads, _bytes = self._choose_anchor(
                 record, number, use_cache=False
             )
-            self.cache.stats.saved_delta_reads += uncached_reads - chain_reads
+            self.cache.count_saved(uncached_reads - chain_reads)
             self.cache.store(record.doc_id, number, tree)
         return tree
 
@@ -438,14 +513,6 @@ class Repository:
         )
 
     def _count_choice(self, record, number, anchor, chain_reads, chain_bytes):
-        stats = self.anchor_stats
-        stats.count(anchor.kind)
-        if chain_reads == 0:
-            stats.exact_anchors += 1
-        elif anchor.number > number:
-            stats.backward_chains += 1
-        else:
-            stats.forward_chains += 1
         # Savings vs. the paper's backward-only baseline.
         dindex = record.dindex
         after = dindex.nearest_snapshot_at_or_after(number)
@@ -454,8 +521,17 @@ class Repository:
         else:
             base = dindex.current_number
         base_reads, base_bytes = self._chain_cost(record, base, number)
-        stats.delta_reads_saved += base_reads - chain_reads
-        stats.delta_bytes_saved += base_bytes - chain_bytes
+        with self._stats_lock:
+            stats = self.anchor_stats
+            stats.count(anchor.kind)
+            if chain_reads == 0:
+                stats.exact_anchors += 1
+            elif anchor.number > number:
+                stats.backward_chains += 1
+            else:
+                stats.forward_chains += 1
+            stats.delta_reads_saved += base_reads - chain_reads
+            stats.delta_bytes_saved += base_bytes - chain_bytes
 
     def reconstruct_at(self, record, ts):
         """Materialize the version valid at ``ts``; ``None`` if not valid."""
@@ -487,7 +563,8 @@ class Repository:
 
     def _range_iter(self, record, lo, hi, newest_first):
         stats = self.anchor_stats
-        stats.range_scans += 1
+        with self._stats_lock:
+            stats.range_scans += 1
         first = hi if newest_first else lo
         tree = self.reconstruct(record, first)
         xids = tree.xid_index()
@@ -499,10 +576,13 @@ class Repository:
         for number in numbers:
             if newest_first:
                 script = self.read_delta(record, number).invert()
-                stats.backward_chains += 1
             else:
                 script = self.read_delta(record, number - 1)
-                stats.forward_chains += 1
+            with self._stats_lock:
+                if newest_first:
+                    stats.backward_chains += 1
+                else:
+                    stats.forward_chains += 1
             tree = apply_script(tree, script, xids)
             yield number, tree, xids
 
@@ -518,11 +598,12 @@ class Repository:
             xids = tree.xid_index()
         lo, hi = sorted((base_number, target_number))
         chain = [self.read_delta(record, version) for version in range(lo, hi)]
-        stats = self.anchor_stats
-        if base_number > target_number:
-            stats.backward_chains += 1
-        else:
-            stats.forward_chains += 1
+        with self._stats_lock:
+            stats = self.anchor_stats
+            if base_number > target_number:
+                stats.backward_chains += 1
+            else:
+                stats.forward_chains += 1
         return apply_chain(
             tree, chain, index=xids, invert=base_number > target_number
         )

@@ -230,11 +230,16 @@ class TemporalDocumentStore:
         return self.repository.record(doc_id).name
 
     def documents(self, include_deleted=False):
-        """Names of stored documents."""
+        """Names of stored documents.
+
+        Only names that have completed their create commit are listed (a
+        record mid-``put`` exists in the repository before it is published
+        under its name), so a concurrent reader can always resolve every
+        name this returns."""
         return [
-            r.name
-            for r in self.repository.records()
-            if include_deleted or not r.is_deleted
+            name
+            for name, record in list(self._by_name.items())
+            if include_deleted or not record.is_deleted
         ]
 
     def delta_index(self, name_or_id):

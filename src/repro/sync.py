@@ -1,0 +1,65 @@
+"""Concurrency primitives for the serving layer.
+
+The storage engine's committed state is immutable (transaction time never
+rewrites history), so most read paths need no locking at all once a reader
+holds a consistent reference — see ``docs/SERVING.md`` for the full
+argument.  The two structures that *are* mutated in place on every commit
+(the FTI's posting lists and the lifetime index's span table) are guarded
+by the classic readers-writer discipline implemented here.
+
+:class:`RWLock` is **write-preferring**: once a writer is waiting, new
+readers queue behind it.  Commits are rare relative to lookups in the
+serving workload, so starving the single writer behind a stream of readers
+would directly delay publication of new versions.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """A write-preferring readers-writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Waiting writers block *new* readers (write preference), so a
+    steady reader stream cannot starve the committing writer.
+
+    Not reentrant — neither side may re-acquire while holding the lock.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_lock(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_lock(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()

@@ -1,6 +1,17 @@
-"""Shared fixtures: the Figure 1 database and synthetic collections."""
+"""Shared fixtures: the Figure 1 database and synthetic collections.
+
+Also provides a fallback for ``@pytest.mark.timeout(...)`` when the
+pytest-timeout plugin is not installed: a daemon watchdog timer that
+dumps every thread's stack and hard-exits, so a deadlocked concurrency
+test fails fast in CI instead of hanging the whole run.
+"""
 
 from __future__ import annotations
+
+import faulthandler
+import os
+import sys
+import threading
 
 import pytest
 
@@ -13,6 +24,42 @@ from repro.index import (
 )
 from repro.storage import TemporalDocumentStore
 from repro.workload import TDocGenerator, build_collection, load_figure1
+
+
+try:
+    import pytest_timeout  # noqa: F401  (the plugin enforces the marker)
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def _abort_hung_test(nodeid, seconds):
+    sys.stderr.write(
+        f"\n\nFATAL: {nodeid} still running after {seconds}s; "
+        "dumping thread stacks and aborting.\n"
+    )
+    faulthandler.dump_traceback(file=sys.stderr)
+    sys.stderr.flush()
+    os._exit(70)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    if marker is None or _HAVE_PYTEST_TIMEOUT or not marker.args:
+        yield
+        return
+    seconds = marker.args[0]
+    watchdog = threading.Timer(
+        seconds, _abort_hung_test, args=(item.nodeid, seconds)
+    )
+    watchdog.daemon = True
+    watchdog.start()
+    try:
+        yield
+    finally:
+        watchdog.cancel()
 
 
 @pytest.fixture
