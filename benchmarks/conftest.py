@@ -21,8 +21,10 @@ import pytest
 _ROOT = Path(__file__).resolve().parent.parent
 _JOIN_REPORT_PATH = _ROOT / "BENCH_joins.json"
 _RECONSTRUCT_REPORT_PATH = _ROOT / "BENCH_reconstruct.json"
+_STORAGE_REPORT_PATH = _ROOT / "BENCH_storage.json"
 _join_records = []
 _reconstruct_records = []
+_storage_records = []
 
 
 @pytest.fixture
@@ -60,6 +62,16 @@ def reconstruct_report():
     return _add
 
 
+@pytest.fixture
+def storage_report():
+    """Collect one XML-vs-CAS storage backend comparison record."""
+
+    def _add(record):
+        _storage_records.append(record)
+
+    return _add
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _join_records:
         payload = {
@@ -88,3 +100,16 @@ def pytest_sessionfinish(session, exitstatus):
             json.dumps(payload, indent=2) + "\n"
         )
         _reconstruct_records.clear()
+    if _storage_records:
+        payload = {
+            "description": (
+                "Storage backends compared on a long near-duplicate "
+                "version history: the monolithic XML archive vs. the "
+                "content-addressed chunked store (stored bytes, cold-open "
+                "wall time, dedup/compression counters); both backends "
+                "reload byte-identical stores (asserted)."
+            ),
+            "runs": sorted(_storage_records, key=lambda r: r["benchmark"]),
+        }
+        _STORAGE_REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        _storage_records.clear()

@@ -89,8 +89,16 @@ def build_parser():
     docs = with_archive("ls", "list documents in the archive")
     docs.set_defaults(handler=_cmd_ls)
 
-    stats = with_archive(
-        "stats", "print repository read, cache, and anchor counters"
+    stats = sub.add_parser(
+        "stats", help="print repository read, cache, anchor, and storage "
+                      "counters"
+    )
+    stats_source = stats.add_mutually_exclusive_group(required=True)
+    stats_source.add_argument("-a", "--archive", help="archive file (XML)")
+    stats_source.add_argument(
+        "-d", "--dir",
+        help="durable database directory (reports the storage backend's "
+             "per-kind byte breakdown too)",
     )
     stats.add_argument(
         "--exercise",
@@ -98,6 +106,8 @@ def build_parser():
         help="reconstruct every version of document NAME first, so the "
              "counters reflect a full history scan",
     )
+    stats.add_argument("--json", action="store_true",
+                       help="print all counters as JSON")
     stats.set_defaults(handler=_cmd_stats)
 
     recover = sub.add_parser(
@@ -116,6 +126,11 @@ def build_parser():
     recover.add_argument(
         "--no-checkpoint", action="store_true",
         help="report only; do not write a fresh checkpoint",
+    )
+    recover.add_argument(
+        "--storage", default=None, choices=["xml", "cas"],
+        help="checkpoint backend to reopen with (default: keep the "
+             "directory's current format)",
     )
     recover.set_defaults(handler=_cmd_recover)
 
@@ -137,6 +152,11 @@ def build_parser():
         "--durability", default="journal",
         choices=["none", "journal", "fsync"],
         help="journal mode when serving a directory",
+    )
+    serve.add_argument(
+        "--storage", default=None, choices=["xml", "cas"],
+        help="checkpoint backend when serving a directory "
+             "(default: auto-detect)",
     )
     serve.add_argument(
         "--serve-for", type=float, metavar="SECONDS",
@@ -161,6 +181,15 @@ def build_parser():
                          help="print the <results> envelope for --query")
     replica.add_argument("--json", action="store_true",
                          help="print replication stats as JSON")
+    replica.add_argument(
+        "--follow", type=float, metavar="SECONDS",
+        help="keep tailing the leader journal every SECONDS instead of "
+             "one-shot catch-up (^C to stop)",
+    )
+    replica.add_argument(
+        "--follow-for", type=float, metavar="SECONDS",
+        help="with --follow: stop after SECONDS (for scripted runs)",
+    )
     replica.set_defaults(handler=_cmd_replica)
     return parser
 
@@ -296,10 +325,16 @@ def _cmd_history(args, out):
 
 
 def _cmd_recover(args, out):
-    db = TemporalXMLDatabase.open(args.dir, durability=args.durability)
+    db = TemporalXMLDatabase.open(
+        args.dir, durability=args.durability, storage=args.storage
+    )
     report = db.recovery
     print(f"recovered {report.documents} document(s) from {args.dir}", file=out)
-    print(f"checkpoint used: {report.checkpoint_source}", file=out)
+    print(
+        f"checkpoint used: {report.checkpoint_source} "
+        f"(storage: {report.storage})",
+        file=out,
+    )
     for error in report.checkpoint_errors:
         print(f"checkpoint skipped: {error}", file=out)
     print(
@@ -328,7 +363,9 @@ def _cmd_serve(args, out):
     from .serving import ServingServer, SessionManager
 
     if args.dir:
-        db = TemporalXMLDatabase.open(args.dir, durability=args.durability)
+        db = TemporalXMLDatabase.open(
+            args.dir, durability=args.durability, storage=args.storage
+        )
         source = args.dir
     else:
         db = _open(args)
@@ -367,6 +404,15 @@ def _cmd_replica(args, out):
 
     replica = Replica(args.dir)
     replica.catch_up()
+    if args.follow is not None:
+        print(
+            f"following {args.dir} every {args.follow}s (^C to stop)",
+            file=out, flush=True,
+        )
+        try:
+            replica.follow(args.follow, duration=args.follow_for)
+        except KeyboardInterrupt:
+            pass
     if args.query:
         result = replica.query(args.query)
         if args.xml and hasattr(result, "to_xml_string"):
@@ -389,11 +435,26 @@ def _cmd_replica(args, out):
 
 
 def _cmd_stats(args, out):
-    db = _open(args)
+    import json as json_module
+
+    if args.dir:
+        db = TemporalXMLDatabase.open(args.dir, durability="none")
+    else:
+        db = _open(args)
     if args.exercise:
         dindex = db.store.delta_index(args.exercise)
         for _ in db.store.version_range(args.exercise, 1, len(dindex)):
             pass
+    if args.json:
+        payload = {"reads": db.store.read_stats()}
+        if args.dir:
+            payload["storage"] = db.storage_stats()
+        else:
+            payload["storage"] = {
+                "logical": db.store.repository.storage_bytes()
+            }
+        print(json_module.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
     stats = db.store.read_stats()
     print(f"reconstruct policy: {stats['reconstruct_policy']}", file=out)
     print("storage reads:", file=out)
@@ -428,7 +489,63 @@ def _cmd_stats(args, out):
         f"range_scans: {anchors['range_scans']}",
         file=out,
     )
+    logical = db.store.repository.storage_bytes()
+    print("storage (logical bytes):", file=out)
+    print(
+        f"  current: {logical['current']}  deltas: {logical['deltas']}  "
+        f"snapshots: {logical['snapshots']}  total: {logical['total']}",
+        file=out,
+    )
+    if args.dir:
+        _print_backend_stats(db.storage_stats(), out)
     return 0
+
+
+def _print_backend_stats(storage, out):
+    backend = storage.get("backend")
+    print(f"storage backend: {storage['storage']}", file=out)
+    if not backend:
+        return
+    if storage["storage"] == "cas":
+        print(
+            f"  objects: {backend['objects_written']} written, "
+            f"{backend['objects_deduped']} deduped, "
+            f"{backend['compressed_objects']} compressed",
+            file=out,
+        )
+        print(
+            f"  bytes: {backend['raw_bytes']} raw -> "
+            f"{backend['stored_bytes']} stored "
+            f"(dedup ratio {backend['dedup_ratio']}x), "
+            f"{backend['disk_bytes']} on disk",
+            file=out,
+        )
+        # What the published checkpoint holds on disk right now (the
+        # lifetime counters above start at zero on every open).
+        for kind, counters in backend.get("disk_by_kind", {}).items():
+            print(
+                f"  kind[{kind}]: {counters['raw_bytes']} raw -> "
+                f"{counters['stored_bytes']} stored "
+                f"({counters['objects']} object(s))",
+                file=out,
+            )
+        for kind, counters in backend["by_kind"].items():
+            print(
+                f"  session[{kind}]: {counters['raw']} raw -> "
+                f"{counters['stored']} stored "
+                f"({counters['objects']} object(s), "
+                f"{counters['deduped']} deduped)",
+                file=out,
+            )
+        print(
+            f"  gc: {backend['gc_runs']} run(s), "
+            f"{backend['gc_deleted_objects']} object(s) / "
+            f"{backend['gc_deleted_bytes']} byte(s) reclaimed",
+            file=out,
+        )
+    else:
+        for label, size in backend.items():
+            print(f"  {label}: {size} byte(s)", file=out)
 
 
 def _cmd_ls(args, out):

@@ -30,6 +30,10 @@ from .storage.store import TemporalDocumentStore
 #: Accepted ``durability`` knob values for :meth:`TemporalXMLDatabase.open`.
 DURABILITY_MODES = ("none", "journal", "fsync")
 
+#: Accepted ``storage`` knob values (checkpoint backends); ``None`` means
+#: auto-detect on open (existing CAS directory → cas, otherwise xml).
+STORAGE_BACKENDS = ("xml", "cas")
+
 
 class TemporalXMLDatabase:
     """Store + indexes + query engine, pre-wired."""
@@ -37,6 +41,7 @@ class TemporalXMLDatabase:
     # Durable-mode attributes; plain in-memory databases keep the defaults.
     data_dir = None
     durability = "none"
+    storage = "xml"
     journal = None
     checkpointer = None
     recovery = None
@@ -111,16 +116,20 @@ class TemporalXMLDatabase:
 
     # -- persistence ------------------------------------------------------------------
 
-    def save(self, path):
-        """Write the whole version history to an XML archive file."""
+    def save(self, path, storage="xml"):
+        """Write the whole version history to ``path``.
+
+        ``storage="xml"`` (default) writes the single-file XML archive;
+        ``storage="cas"`` checkpoints into ``path`` as a content-addressed
+        object directory (see ``docs/STORAGE.md``)."""
         from .storage.persistence import dump_store
 
-        dump_store(self.store, path)
+        dump_store(self.store, path, format=storage)
 
     @classmethod
     def load(cls, path, snapshot_interval=None, clustered=True,
              options=None, cache_size=0, snapshot_policy=None,
-             reconstruct_policy="cost"):
+             reconstruct_policy="cost", storage="xml"):
         """Restore a database from :meth:`save`'s archive.
 
         Indexes (FTI, lifetime) are rebuilt by replaying the stored commit
@@ -134,7 +143,7 @@ class TemporalXMLDatabase:
         db.store = load_store(
             path, snapshot_interval=snapshot_interval, clustered=clustered,
             cache_size=cache_size, snapshot_policy=snapshot_policy,
-            reconstruct_policy=reconstruct_policy,
+            reconstruct_policy=reconstruct_policy, format=storage,
         )
         db.fti = TemporalFullTextIndex()
         db.lifetime = LifetimeIndex()
@@ -160,14 +169,17 @@ class TemporalXMLDatabase:
         options=None,
         cache_size=0,
         fs=None,
+        storage=None,
     ):
         """Open (creating or recovering) a crash-safe database directory.
 
-        The directory holds an atomic checkpoint (``checkpoint.xml``) plus
-        an append-only commit journal (``journal.bin``); opening always runs
-        recovery — loads the newest valid checkpoint, replays the journal
-        tail through the index observers, truncates a torn tail — and then
-        attaches the journal so every commit is logged.  The
+        The directory holds an atomic checkpoint (``checkpoint.xml``, or a
+        content-addressed object store under ``objects/`` with a
+        ``checkpoint.cas`` pointer) plus an append-only commit journal
+        (``journal.bin``); opening always runs recovery — loads the newest
+        valid checkpoint, replays the journal tail through the index
+        observers, truncates a torn tail — and then attaches the journal
+        so every commit is logged.  The
         :class:`~repro.storage.recover.RecoveryReport` is left on
         ``db.recovery``.
 
@@ -175,6 +187,16 @@ class TemporalXMLDatabase:
         ``docs/DURABILITY.md``): ``"fsync"`` syncs the journal on every
         commit, ``"journal"`` flushes without syncing, ``"none"`` keeps no
         journal — only explicit :meth:`checkpoint` calls persist anything.
+
+        ``storage`` selects the checkpoint backend (``docs/STORAGE.md``):
+        ``"xml"`` for the single-file archive, ``"cas"`` for the deduped,
+        compressed, garbage-collected object store, or ``None`` (default)
+        to keep whatever format the directory already uses (new
+        directories default to ``"xml"``).  Recovery always reads the
+        format actually present, so an explicit ``storage`` that differs
+        from the directory's current format *migrates* it: the next
+        :meth:`checkpoint` writes the new backend and retires the old
+        format's checkpoint files.
         """
         import os
 
@@ -190,6 +212,11 @@ class TemporalXMLDatabase:
             raise StorageError(
                 f"unknown durability mode {durability!r}; "
                 f"expected one of {DURABILITY_MODES}"
+            )
+        if storage is not None and storage not in STORAGE_BACKENDS:
+            raise StorageError(
+                f"unknown storage backend {storage!r}; "
+                f"expected one of {STORAGE_BACKENDS}"
             )
         os.makedirs(directory, exist_ok=True)
         if fs is None:
@@ -214,6 +241,14 @@ class TemporalXMLDatabase:
         )
         db.data_dir = str(directory)
         db.durability = durability
+        if storage is None:
+            # Keep the directory's existing format; brand-new dirs get xml.
+            storage = (
+                db.recovery.storage
+                if db.recovery.storage in STORAGE_BACKENDS
+                else "xml"
+            )
+        db.storage = storage
         if durability != "none":
             db.journal = CommitJournal(
                 os.path.join(str(directory), JOURNAL_FILE),
@@ -222,8 +257,12 @@ class TemporalXMLDatabase:
             )
             db.store.attach_journal(db.journal)
         db.checkpointer = Checkpointer(
-            db.store, directory, journal=db.journal, fs=fs
+            db.store, directory, journal=db.journal, fs=fs, storage=storage
         )
+        if storage == "cas":
+            # Dedup/compression/GC counters join the shared registry so
+            # `repro stats` and EXPLAIN-era tooling see the storage layer.
+            db.engine.registry.register("cas", db.checkpointer.objstore.stats)
         return db
 
     def checkpoint(self):
@@ -246,12 +285,54 @@ class TemporalXMLDatabase:
         """Journal/checkpoint/recovery counters for the bench harness."""
         return {
             "durability": self.durability,
+            "storage": self.storage,
             "journal": self.journal.stats.as_dict() if self.journal else None,
             "checkpoints": (
                 self.checkpointer.stats.as_dict() if self.checkpointer else None
             ),
             "recovery": self.recovery.as_dict() if self.recovery else None,
         }
+
+    def storage_stats(self):
+        """Per-kind storage breakdown: logical bytes + on-disk backend.
+
+        ``logical`` is the store's own accounting
+        (:meth:`~repro.storage.repository.Repository.storage_bytes`);
+        ``backend`` reports what actually sits on disk — for CAS, the
+        dedup/compression/GC counters per kind (current/deltas/snapshots/
+        checkpoint manifests, raw vs stored bytes, dedup ratio) plus the
+        object directory size; for XML, the checkpoint file sizes."""
+        import os
+
+        out = {
+            "storage": self.storage,
+            "logical": self.store.repository.storage_bytes(),
+            "backend": None,
+        }
+        if self.checkpointer is None:
+            return out
+        if self.storage == "cas":
+            from .storage.cas import kind_breakdown, storage_size
+
+            backend = self.checkpointer.objstore.stats.as_dict()
+            backend["disk_bytes"] = storage_size(self.data_dir)
+            # Counters cover this store's lifetime; the disk breakdown is
+            # what the published checkpoint holds right now.
+            backend["disk_by_kind"] = kind_breakdown(self.data_dir)
+            if self.checkpointer.last_gc is not None:
+                backend["last_gc"] = self.checkpointer.last_gc.as_dict()
+            out["backend"] = backend
+        else:
+            sizes = {}
+            for label, path in (
+                ("checkpoint", self.checkpointer.checkpoint_path),
+                ("previous", self.checkpointer.previous_path),
+            ):
+                if os.path.exists(path):
+                    sizes[label] = os.path.getsize(path)
+            sizes["disk_bytes"] = sum(sizes.values())
+            out["backend"] = sizes
+        return out
 
     # -- conveniences ----------------------------------------------------------------
 

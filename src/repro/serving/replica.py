@@ -8,7 +8,10 @@ shipped records through the same idempotent
 :func:`~repro.storage.recover.apply_record` used by recovery.  Because
 records are keyed by document id and version number, re-scanning the
 journal from the start on every :meth:`catch_up` is safe: already-applied
-records are skipped, only the genuine tail changes the store.
+records are skipped, only the genuine tail changes the store.  Seeding
+goes through :func:`~repro.storage.recover.recover_store`, so a leader
+using either checkpoint backend (XML archive or the content-addressed
+store of :mod:`~repro.storage.cas`) replicates unchanged.
 
 The replica never writes to the leader's directory (recovery runs with
 ``repair=False`` so even a torn journal tail is left untouched), and it
@@ -84,6 +87,32 @@ class Replica:
             fs=self._fs,
             repair=False,
         )
+
+    def follow(self, interval, duration=None, stop=None):
+        """Auto-tail the leader on a timer: :meth:`catch_up` every
+        ``interval`` seconds.
+
+        Runs until ``duration`` seconds elapse (``None`` = forever),
+        ``stop`` (a :class:`threading.Event`) is set, or the thread is
+        interrupted.  Seeding already happened in the constructor, so the
+        loop is nothing but the idempotent catch-up — exactly what a
+        cron-like follower wants.  Returns the total records applied
+        while following."""
+        import time
+
+        stop = stop if stop is not None else threading.Event()
+        deadline = None if duration is None else time.monotonic() + duration
+        applied = 0
+        while not stop.is_set():
+            applied += self.catch_up()
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                stop.wait(min(interval, remaining))
+            else:
+                stop.wait(interval)
+        return applied
 
     def catch_up(self):
         """Tail the leader's journal; returns the number of new records

@@ -1,0 +1,354 @@
+"""Length-prefixed binary encoding of trees, edit scripts, and documents.
+
+The XML archive pays twice on every cold open: once to tokenize a large
+pretty-printed text file and once to decode the structural payload
+encoding back into stamped trees.  This module is the storage-side
+replacement — a compact varint-based binary form the CAS backend chunks,
+dedups, and decodes directly into :class:`~repro.xmlcore.node.Element`
+trees without ever building intermediate XML.
+
+Everything is written through :class:`Writer` / read through
+:class:`Reader`:
+
+* unsigned varints for all integers (version numbers, XIDs, timestamps),
+  with a ``0 = absent / n+1`` convention for optional values;
+* UTF-8 strings and byte blobs prefixed by their varint length;
+* one kind byte per polymorphic record (node kind, edit-op kind).
+
+Decoding errors raise :class:`~repro.errors.CorruptArchiveError` — a
+truncated or bit-flipped object can never escape as an ``IndexError``.
+
+The encoding is exact: trees round-trip with XIDs, element timestamps,
+attribute order, and interleaved text preserved, so a store written
+through this format reproduces the byte-identical XML archive of the
+store it came from (asserted by the storage benchmark).
+"""
+
+from __future__ import annotations
+
+from ..diff.editscript import (
+    DeleteOp,
+    EditScript,
+    InsertOp,
+    MoveOp,
+    ReplaceRootOp,
+    StampOp,
+    UpdateAttrOp,
+    UpdateTextOp,
+)
+from ..errors import CorruptArchiveError
+from ..xmlcore.node import Element, Text
+
+#: Node kind bytes.
+_ELEMENT, _TEXT = 0x01, 0x02
+
+#: Edit-operation kind bytes.
+_OP_INSERT, _OP_DELETE, _OP_MOVE = 0x01, 0x02, 0x03
+_OP_UPDTEXT, _OP_UPDATTR, _OP_STAMP, _OP_REPLACEROOT = 0x04, 0x05, 0x06, 0x07
+
+
+class Writer:
+    """Append-only binary writer (varints, strings, blobs)."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def u(self, value):
+        """Unsigned varint (LEB128)."""
+        if value < 0:
+            raise CorruptArchiveError(f"cannot encode negative int {value}")
+        buf = self._buf
+        while value > 0x7F:
+            buf.append((value & 0x7F) | 0x80)
+            value >>= 7
+        buf.append(value)
+
+    def opt_u(self, value):
+        """Optional unsigned int: 0 when absent, value+1 otherwise."""
+        self.u(0 if value is None else value + 1)
+
+    def byte(self, value):
+        self._buf.append(value)
+
+    def s(self, text):
+        data = text.encode("utf-8")
+        self.u(len(data))
+        self._buf += data
+
+    def opt_s(self, text):
+        if text is None:
+            self.byte(0)
+        else:
+            self.byte(1)
+            self.s(text)
+
+    def blob(self, data):
+        self.u(len(data))
+        self._buf += data
+
+    def getvalue(self):
+        return bytes(self._buf)
+
+
+class Reader:
+    """Sequential reader over one encoded byte string."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def exhausted(self):
+        return self._pos >= len(self._data)
+
+    def _need(self, count):
+        if self._pos + count > len(self._data):
+            raise CorruptArchiveError(
+                f"truncated binary record: wanted {count} byte(s) at "
+                f"offset {self._pos}, have {len(self._data) - self._pos}"
+            )
+
+    def u(self):
+        data, pos = self._data, self._pos
+        shift = 0
+        value = 0
+        while True:
+            if pos >= len(data):
+                raise CorruptArchiveError(
+                    "truncated binary record: unterminated varint at "
+                    f"offset {self._pos}"
+                )
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                raise CorruptArchiveError(
+                    f"malformed varint at offset {self._pos}"
+                )
+        self._pos = pos
+        return value
+
+    def opt_u(self):
+        value = self.u()
+        return None if value == 0 else value - 1
+
+    def byte(self):
+        self._need(1)
+        value = self._data[self._pos]
+        self._pos += 1
+        return value
+
+    def s(self):
+        return self.blob().decode("utf-8")
+
+    def opt_s(self):
+        return self.s() if self.byte() else None
+
+    def blob(self):
+        length = self.u()
+        self._need(length)
+        data = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return data
+
+
+# -- trees ---------------------------------------------------------------------
+
+
+def write_node(w, node):
+    """Encode one stamped node (Element or Text) recursively."""
+    if isinstance(node, Text):
+        w.byte(_TEXT)
+        w.opt_u(node.xid)
+        w.opt_u(node.tstamp)
+        w.s(node.value)
+        return
+    w.byte(_ELEMENT)
+    w.opt_u(node.xid)
+    w.opt_u(node.tstamp)
+    w.s(node.tag)
+    w.u(len(node.attrib))
+    for name, value in node.attrib.items():
+        w.s(name)
+        w.s(value)
+    w.u(len(node.children))
+    for child in node.children:
+        write_node(w, child)
+
+
+def read_node(r):
+    """Decode one node written by :func:`write_node`."""
+    kind = r.byte()
+    if kind == _TEXT:
+        xid = r.opt_u()
+        tstamp = r.opt_u()
+        node = Text(r.s())
+        node.xid = xid
+        node.tstamp = tstamp
+        return node
+    if kind != _ELEMENT:
+        raise CorruptArchiveError(f"unknown node kind byte 0x{kind:02x}")
+    xid = r.opt_u()
+    tstamp = r.opt_u()
+    node = Element(r.s())
+    node.xid = xid
+    node.tstamp = tstamp
+    for _ in range(r.u()):
+        node.attrib[r.s()] = r.s()
+    for _ in range(r.u()):
+        child = read_node(r)
+        child.parent = node
+        node.children.append(child)
+    return node
+
+
+def encode_tree(root):
+    """One stamped tree as standalone bytes."""
+    w = Writer()
+    write_node(w, root)
+    return w.getvalue()
+
+
+def decode_tree(data):
+    r = Reader(data)
+    return read_node(r)
+
+
+# -- edit scripts --------------------------------------------------------------
+
+
+def write_script(w, script):
+    """Encode an :class:`EditScript` (ops + version timestamps)."""
+    w.opt_u(script.from_ts)
+    w.opt_u(script.to_ts)
+    w.u(len(script.ops))
+    for op in script.ops:
+        if isinstance(op, InsertOp):
+            w.byte(_OP_INSERT)
+            w.u(op.parent_xid)
+            w.u(op.pos)
+            write_node(w, op.payload)
+        elif isinstance(op, DeleteOp):
+            w.byte(_OP_DELETE)
+            w.u(op.parent_xid)
+            w.u(op.pos)
+            write_node(w, op.payload)
+        elif isinstance(op, MoveOp):
+            w.byte(_OP_MOVE)
+            w.u(op.xid)
+            w.u(op.from_parent)
+            w.u(op.from_pos)
+            w.u(op.to_parent)
+            w.u(op.to_pos)
+        elif isinstance(op, UpdateTextOp):
+            w.byte(_OP_UPDTEXT)
+            w.u(op.xid)
+            w.s(op.old)
+            w.s(op.new)
+        elif isinstance(op, UpdateAttrOp):
+            w.byte(_OP_UPDATTR)
+            w.u(op.xid)
+            w.s(op.name)
+            w.opt_s(op.old)
+            w.opt_s(op.new)
+        elif isinstance(op, StampOp):
+            w.byte(_OP_STAMP)
+            w.u(op.xid)
+            w.u(op.old_ts)
+            w.u(op.new_ts)
+        elif isinstance(op, ReplaceRootOp):
+            w.byte(_OP_REPLACEROOT)
+            write_node(w, op.old_payload)
+            write_node(w, op.new_payload)
+        else:
+            raise CorruptArchiveError(
+                f"cannot encode edit op {type(op).__name__}"
+            )
+
+
+def read_script(r):
+    from_ts = r.opt_u()
+    to_ts = r.opt_u()
+    ops = []
+    for _ in range(r.u()):
+        kind = r.byte()
+        if kind == _OP_INSERT:
+            ops.append(InsertOp(r.u(), r.u(), read_node(r)))
+        elif kind == _OP_DELETE:
+            ops.append(DeleteOp(r.u(), r.u(), read_node(r)))
+        elif kind == _OP_MOVE:
+            ops.append(MoveOp(r.u(), r.u(), r.u(), r.u(), r.u()))
+        elif kind == _OP_UPDTEXT:
+            ops.append(UpdateTextOp(r.u(), r.s(), r.s()))
+        elif kind == _OP_UPDATTR:
+            ops.append(UpdateAttrOp(r.u(), r.s(), r.opt_s(), r.opt_s()))
+        elif kind == _OP_STAMP:
+            ops.append(StampOp(r.u(), r.u(), r.u()))
+        elif kind == _OP_REPLACEROOT:
+            ops.append(ReplaceRootOp(read_node(r), read_node(r)))
+        else:
+            raise CorruptArchiveError(
+                f"unknown edit-op kind byte 0x{kind:02x}"
+            )
+    return EditScript(ops, from_ts=from_ts, to_ts=to_ts)
+
+
+# -- per-document byte streams -------------------------------------------------
+#
+# A checkpointed document becomes three independent streams — the current
+# tree, the delta chain, the snapshot materializations — so the CAS layer
+# can chunk each and attribute stored bytes per kind.  Snapshots sit in
+# one concatenated stream deliberately: consecutive snapshots of a
+# near-duplicate history share most of their encoded bytes, which is
+# exactly what content-defined chunking turns into dedup.
+
+
+def encode_current_stream(record):
+    return encode_tree(record.current_root)
+
+
+def decode_current_stream(data):
+    return decode_tree(data)
+
+
+def encode_delta_stream(record):
+    w = Writer()
+    w.u(len(record.deltas))
+    for number in sorted(record.deltas):
+        w.u(number)
+        write_script(w, record.deltas[number])
+    return w.getvalue()
+
+
+def decode_delta_stream(data):
+    r = Reader(data)
+    deltas = {}
+    for _ in range(r.u()):
+        number = r.u()
+        deltas[number] = read_script(r)
+    return deltas
+
+
+def encode_snapshot_stream(record):
+    w = Writer()
+    w.u(len(record.snapshots))
+    for number in sorted(record.snapshots):
+        w.u(number)
+        write_node(w, record.snapshots[number])
+    return w.getvalue()
+
+
+def decode_snapshot_stream(data):
+    r = Reader(data)
+    snapshots = {}
+    for _ in range(r.u()):
+        number = r.u()
+        snapshots[number] = read_node(r)
+    return snapshots

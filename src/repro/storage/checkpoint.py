@@ -17,6 +17,15 @@ A crash between any two steps is safe: recovery
 back to ``checkpoint.xml.prev``, replaying both journal generations with
 idempotent records, so whichever pair of files survived reproduces the
 exact pre-crash commit history.
+
+With ``storage="cas"`` the archive file is replaced by the
+content-addressed object store (:mod:`~repro.storage.cas`): objects land
+first (invisible until referenced), the ``checkpoint.cas`` pointer pair
+plays the role of the two checkpoint generations, and after the journal
+rolls a mark-and-sweep GC reclaims every object no retained generation
+reaches.  The crash-safety argument is unchanged — and GC runs last, so
+a crash anywhere earlier can only leave extra garbage, never remove a
+reachable object.
 """
 
 from __future__ import annotations
@@ -49,23 +58,45 @@ class CheckpointStats:
 class Checkpointer:
     """Writes atomic checkpoints of a store and rolls its journal."""
 
-    def __init__(self, store, directory, journal=None, fs=None):
+    def __init__(self, store, directory, journal=None, fs=None,
+                 storage="xml"):
         self.store = store
         self.directory = str(directory)
         self.journal = journal
         self.fs = fs if fs is not None else REAL_FS
+        self.storage = storage
         self.stats = CheckpointStats()
+        self._objstore = None
+        self.last_gc = None
 
     @property
     def checkpoint_path(self):
+        if self.storage == "cas":
+            from .cas import CAS_POINTER_FILE
+
+            return os.path.join(self.directory, CAS_POINTER_FILE)
         return os.path.join(self.directory, CHECKPOINT_FILE)
 
     @property
     def previous_path(self):
         return self.checkpoint_path + PREV_SUFFIX
 
+    @property
+    def objstore(self):
+        """The directory's CAS object store (CAS storage only).
+
+        Shared across checkpoints so dedup and GC counters accumulate
+        per database, not per checkpoint call."""
+        if self._objstore is None:
+            from .cas import CASObjectStore
+
+            self._objstore = CASObjectStore(self.directory, fs=self.fs)
+        return self._objstore
+
     def checkpoint(self):
         """Write a checkpoint and roll the journal; returns the path."""
+        if self.storage == "cas":
+            return self._checkpoint_cas()
         data = archive_bytes(build_archive(self.store))
         if self.journal is not None:
             self.journal.sync()
@@ -74,7 +105,61 @@ class Checkpointer:
         atomic_write_bytes(self.checkpoint_path, data, fs=self.fs)
         if self.journal is not None:
             self.journal.roll()
+        self._retire_other_backend()
         self.stats.checkpoints += 1
         self.stats.bytes_written += len(data)
         self.stats.last_bytes = len(data)
         return self.checkpoint_path
+
+    def _checkpoint_cas(self):
+        from .cas import collect_garbage, write_checkpoint
+
+        if self.journal is not None:
+            self.journal.sync()
+        objstore = self.objstore
+        before = objstore.stats.stored_bytes
+        write_checkpoint(
+            self.store, self.directory, fs=self.fs, objstore=objstore,
+            rotate=True,
+        )
+        if self.journal is not None:
+            self.journal.roll()
+        # Rotation just demoted the old checkpoint to the .prev
+        # generation; anything older is now unreachable — reclaim it.
+        self.last_gc = collect_garbage(
+            self.directory, fs=self.fs, objstore=objstore
+        )
+        written = objstore.stats.stored_bytes - before
+        self._retire_other_backend()
+        self.stats.checkpoints += 1
+        self.stats.bytes_written += written
+        self.stats.last_bytes = written
+        return self.checkpoint_path
+
+    def _retire_other_backend(self):
+        """Drop the *other* backend's checkpoint files once ours is durable.
+
+        Opening an existing directory with an explicit different
+        ``storage=`` recovers from whatever format is present and
+        migrates on the next checkpoint; the old format's checkpoints are
+        stale from that moment and must not win auto-detection on a later
+        open.  Runs strictly after the new checkpoint is published, so a
+        crash anywhere still leaves a recoverable generation.
+        """
+        from .cas import CAS_POINTER_FILE, collect_garbage
+
+        if self.storage == "cas":
+            stale = os.path.join(self.directory, CHECKPOINT_FILE)
+            for path in (stale, stale + PREV_SUFFIX):
+                if self.fs.exists(path):
+                    self.fs.remove(path)
+        else:
+            pointer = os.path.join(self.directory, CAS_POINTER_FILE)
+            had_pointers = False
+            for path in (pointer, pointer + PREV_SUFFIX):
+                if self.fs.exists(path):
+                    self.fs.remove(path)
+                    had_pointers = True
+            if had_pointers:
+                # No pointers left → every object is garbage.
+                collect_garbage(self.directory, fs=self.fs)

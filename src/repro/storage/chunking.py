@@ -1,0 +1,128 @@
+"""Content-defined chunking: rolling-hash boundaries for the CAS backend.
+
+The content-addressed store (:mod:`~repro.storage.cas`) deduplicates at
+chunk granularity, so where chunk boundaries fall decides how much two
+near-identical byte streams actually share.  Fixed-size blocks fail at
+that as soon as one byte is inserted — every block after the edit shifts
+and hashes differently.  Content-defined chunking (CDC) instead cuts
+wherever a rolling hash of the last :data:`WINDOW` bytes hits a bit
+pattern, so boundaries travel *with the content*: an insertion disturbs
+only the chunk it lands in (and at most its successor), and every later
+chunk re-aligns and dedups again.
+
+The rolling hash is a buzhash (cyclic polynomial): per byte, one rotate
+and two table lookups — the cheapest CDC family, and the one castor's
+``chunking.rs`` uses.  Parameters follow the usual shape:
+
+* ``min_size`` — no boundary before this many bytes (also lets the hot
+  loop *skip* hashing the first ``min_size - WINDOW`` bytes of every
+  chunk);
+* ``avg_size`` — a power of two; the boundary condition keeps the low
+  ``log2(avg_size)`` hash bits, so the expected chunk length is
+  ``avg_size`` on random data;
+* ``max_size`` — a forced cut so pathological content (long runs that
+  never match) cannot produce unbounded chunks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import StorageError
+
+#: Rolling-hash window in bytes.  48 is the classic buzhash choice: long
+#: enough that boundaries are content-stable, short enough to re-sync
+#: quickly after an edit.
+WINDOW = 48
+
+_M64 = (1 << 64) - 1
+
+# Deterministic byte -> 64-bit random table (the hash's substitution box).
+# Seeded so every process — and every PR — chunks identical bytes
+# identically; changing this table changes every chunk hash on disk.
+_rng = random.Random(0x7E4D0C5A11AB1E5)
+_TABLE = tuple(_rng.getrandbits(64) for _ in range(256))
+#: The same table pre-rotated by ``WINDOW`` bits, used to roll the
+#: outgoing byte out of the window in one XOR.
+_SHIFT = WINDOW % 64
+_TABLE_OUT = tuple(
+    ((t << _SHIFT) | (t >> (64 - _SHIFT))) & _M64 for t in _TABLE
+)
+del _rng
+
+
+@dataclass(frozen=True)
+class ChunkParams:
+    """CDC tuning knobs; the defaults suit document-sized archives."""
+
+    min_size: int = 512
+    avg_size: int = 4096
+    max_size: int = 32768
+
+    def __post_init__(self):
+        if self.min_size < WINDOW:
+            raise StorageError(
+                f"min chunk size must be >= the hash window ({WINDOW})"
+            )
+        if self.avg_size & (self.avg_size - 1):
+            raise StorageError("avg chunk size must be a power of two")
+        if not self.min_size <= self.avg_size <= self.max_size:
+            raise StorageError(
+                "chunk sizes must satisfy min <= avg <= max "
+                f"(got {self.min_size}/{self.avg_size}/{self.max_size})"
+            )
+
+
+#: Shared default parameters (the CAS store's configuration).
+DEFAULT_PARAMS = ChunkParams()
+
+
+def chunk_spans(data, params=None):
+    """Cut ``data`` into content-defined ``(start, end)`` spans.
+
+    Concatenating the spans in order reproduces ``data`` exactly.  The
+    cut points depend only on content and ``params``, never on position:
+    two streams sharing a long run of bytes produce identical interior
+    chunks regardless of where the run sits in each stream.
+    """
+    params = params if params is not None else DEFAULT_PARAMS
+    n = len(data)
+    if n == 0:
+        return []
+    table, table_out = _TABLE, _TABLE_OUT
+    mask = params.avg_size - 1
+    min_size, max_size = params.min_size, params.max_size
+    spans = []
+    start = 0
+    while start < n:
+        if n - start <= min_size:
+            spans.append((start, n))
+            break
+        end = min(start + max_size, n)
+        # Nothing may cut before min_size, so skip straight there and
+        # prime the window over the preceding WINDOW bytes.
+        pos = start + min_size
+        h = 0
+        for i in range(pos - WINDOW, pos):
+            h = (((h << 1) | (h >> 63)) & _M64) ^ table[data[i]]
+        cut = end
+        while pos < end:
+            h = (
+                (((h << 1) | (h >> 63)) & _M64)
+                ^ table_out[data[pos - WINDOW]]
+                ^ table[data[pos]]
+            )
+            pos += 1
+            if h & mask == mask:
+                cut = pos
+                break
+        spans.append((start, cut))
+        start = cut
+    return spans
+
+
+def chunk_bytes(data, params=None):
+    """The spans of :func:`chunk_spans` materialized as bytes objects."""
+    view = memoryview(data)
+    return [bytes(view[s:e]) for s, e in chunk_spans(data, params)]

@@ -120,12 +120,24 @@ def atomic_write_bytes(path, data, fs=None):
     fs.fsync_dir(os.path.dirname(os.path.abspath(path)) or ".")
 
 
-def dump_store(store, path=None, fs=None):
+def dump_store(store, path=None, fs=None, format="xml"):
     """Serialize ``store`` to an archive tree (and optionally a file).
 
-    Returns the archive as an :class:`Element`; when ``path`` is given the
-    checksummed XML is also written there, atomically.
+    With the default ``format="xml"`` this returns the archive as an
+    :class:`Element`; when ``path`` is given the checksummed XML is also
+    written there, atomically.  With ``format="cas"``, ``path`` must be a
+    directory: the store is checkpointed into its content-addressed
+    object store (:mod:`~repro.storage.cas`) and the root manifest hash
+    is returned instead.
     """
+    if format == "cas":
+        if path is None:
+            raise StorageError("dump_store(format='cas') needs a directory")
+        from .cas import write_checkpoint
+
+        return write_checkpoint(store, path, fs=fs)
+    if format != "xml":
+        raise StorageError(f"unknown storage format {format!r}")
     archive = build_archive(store)
     if path is not None:
         atomic_write_bytes(path, archive_bytes(archive), fs=fs)
@@ -141,15 +153,33 @@ def load_store(
     fs=None,
     snapshot_policy=None,
     reconstruct_policy="cost",
+    format="xml",
 ):
     """Rebuild a store from an archive (a path, XML text, or Element).
 
     Document ids, XIDs, version numbers, timestamps, and content are
     restored exactly.  ``verify`` (default) checks the whole-file CRC
     footer and the per-document ``checksum`` attributes when present;
-    archives written before checksums existed still load.  Indexes are
-    *not* rebuilt here — attach observers and call :func:`replay_history`
-    (or use :meth:`repro.db.TemporalXMLDatabase.load`)."""
+    archives written before checksums existed still load.  With
+    ``format="cas"``, ``source`` is a CAS checkpoint directory (or
+    pointer file) and every object is hash-verified on the way in.
+    Indexes are *not* rebuilt here — attach observers and call
+    :func:`replay_history` (or use
+    :meth:`repro.db.TemporalXMLDatabase.load`)."""
+    if format == "cas":
+        from .cas import read_checkpoint
+
+        return read_checkpoint(
+            source,
+            fs=fs,
+            snapshot_interval=snapshot_interval,
+            clustered=clustered,
+            cache_size=cache_size,
+            snapshot_policy=snapshot_policy,
+            reconstruct_policy=reconstruct_policy,
+        )
+    if format != "xml":
+        raise StorageError(f"unknown storage format {format!r}")
     archive, path = _as_archive(source, verify=verify, fs=fs)
     if archive.get("format") != FORMAT_VERSION:
         raise StorageError(
@@ -164,8 +194,6 @@ def load_store(
         snapshot_policy=snapshot_policy,
         reconstruct_policy=reconstruct_policy,
     )
-    repository = store.repository
-    highest_doc_id = 0
     for doc in archive.child_elements():
         if doc.tag != "document":
             raise StorageError(f"unexpected archive element <{doc.tag}>")
@@ -178,11 +206,82 @@ def load_store(
                     f"(stored {stored_crc}, computed {actual:08x})",
                     path=path,
                 )
-        record = _load_document(repository, doc, path)
-        store._by_name[record.name] = record
-        highest_doc_id = max(highest_doc_id, record.doc_id)
-    repository._next_doc_id = highest_doc_id + 1
+        _load_document(store, doc, path)
     return store
+
+
+def install_document(
+    store,
+    *,
+    doc_id,
+    name,
+    nextxid,
+    deleted_at,
+    entries,
+    deltas,
+    snapshots,
+    current_root,
+):
+    """Install one fully decoded document into a freshly loaded store.
+
+    Shared by the XML-archive and CAS loaders: both decode a document to
+    the same pieces (identity, version index ``(number, timestamp)``
+    pairs, delta scripts, snapshot trees, current tree) and this function
+    does the store-side installation — record wiring, XID allocator
+    state, simulated extent allocation for the cost model, and name/id
+    bookkeeping.  Returns the installed record.
+    """
+    repository = store.repository
+    record = repository.create(name)
+    # create() assigned a sequential id; restore the archived one.
+    del repository._records[record.doc_id]
+    record.doc_id = doc_id
+    if doc_id in repository._records:
+        raise StorageError(f"duplicate document id {doc_id} in archive")
+    repository._records[doc_id] = record
+    record.allocator = XIDAllocator(nextxid)
+    for number, timestamp in entries:
+        record.dindex.append(VersionEntry(number, timestamp))
+    if current_root is None:
+        raise StorageError(
+            f"archive document {name!r} has no current version"
+        )
+    if len(deltas) != len(record.dindex.entries) - 1:
+        raise StorageError(
+            f"archive document {name!r} has an incomplete delta chain"
+        )
+    if deleted_at is not None:
+        record.dindex.deleted_at = deleted_at
+
+    # Install content and allocate simulated extents for the cost model.
+    disk = repository.disk
+    current_bytes = len(serialize(current_root))
+    current_extent = disk.allocate(
+        current_bytes, cluster_key=("current", record.doc_id)
+    )
+    record.set_current(
+        record.dindex.current_number, current_root, current_extent,
+        current_bytes,
+    )
+    for number, script in sorted(deltas.items()):
+        entry = record.dindex.entry(number)
+        record.dindex.record_delta_bytes(number, script.size_bytes())
+        entry.delta_extent = disk.allocate(
+            entry.delta_bytes, cluster_key=("deltas", record.doc_id)
+        )
+        record.deltas[number] = script
+    for number, tree in sorted(snapshots.items()):
+        entry = record.dindex.entry(number)
+        entry.snapshot_bytes = len(serialize(tree))
+        entry.snapshot_extent = disk.allocate(
+            entry.snapshot_bytes, cluster_key=("snapshots", record.doc_id)
+        )
+        record.dindex.register_snapshot(number)
+        record.snapshots[number] = tree
+
+    store._by_name[name] = record
+    repository._next_doc_id = max(repository._next_doc_id, doc_id + 1)
+    return record
 
 
 def replay_history(store, observers):
@@ -334,26 +433,17 @@ def _int_field(element, name, what, path, default=None):
         ) from None
 
 
-def _load_document(repository, doc, path=None):
-    record = repository.create(doc.get("name"))
-    # create() assigned a sequential id; restore the archived one.
-    archived_id = _int_field(doc, "id", "document id", path)
-    del repository._records[record.doc_id]
-    record.doc_id = archived_id
-    if archived_id in repository._records:
-        raise StorageError(f"duplicate document id {archived_id} in archive")
-    repository._records[archived_id] = record
-    record.allocator = XIDAllocator(
-        _int_field(doc, "nextxid", f"document {record.name!r} nextxid", path)
-    )
-
+def _load_document(store, doc, path=None):
+    """Decode one ``<document>`` element and install it into ``store``."""
+    name = doc.get("name")
+    entries = []
     deltas = {}
     snapshots = {}
     current_root = None
     for child in doc.child_elements():
         if child.tag == "version":
-            record.dindex.append(
-                VersionEntry(
+            entries.append(
+                (
                     _int_field(child, "number", "version number", path),
                     _int_field(child, "ts", "version timestamp", path),
                 )
@@ -370,42 +460,16 @@ def _load_document(repository, doc, path=None):
             ] = decode_payload(child.child_elements()[0])
         else:
             raise StorageError(f"unexpected archive element <{child.tag}>")
-    if current_root is None:
-        raise StorageError(
-            f"archive document {record.name!r} has no current version"
-        )
-    if len(deltas) != len(record.dindex.entries) - 1:
-        raise StorageError(
-            f"archive document {record.name!r} has an incomplete delta chain"
-        )
 
     deleted = doc.get("deleted")
-    if deleted is not None:
-        record.dindex.deleted_at = int(deleted)
-
-    # Install content and allocate simulated extents for the cost model.
-    disk = repository.disk
-    current_bytes = len(serialize(current_root))
-    current_extent = disk.allocate(
-        current_bytes, cluster_key=("current", record.doc_id)
+    return install_document(
+        store,
+        doc_id=_int_field(doc, "id", "document id", path),
+        name=name,
+        nextxid=_int_field(doc, "nextxid", f"document {name!r} nextxid", path),
+        deleted_at=None if deleted is None else int(deleted),
+        entries=entries,
+        deltas=deltas,
+        snapshots=snapshots,
+        current_root=current_root,
     )
-    record.set_current(
-        record.dindex.current_number, current_root, current_extent,
-        current_bytes,
-    )
-    for number, script in sorted(deltas.items()):
-        entry = record.dindex.entry(number)
-        record.dindex.record_delta_bytes(number, script.size_bytes())
-        entry.delta_extent = disk.allocate(
-            entry.delta_bytes, cluster_key=("deltas", record.doc_id)
-        )
-        record.deltas[number] = script
-    for number, tree in sorted(snapshots.items()):
-        entry = record.dindex.entry(number)
-        entry.snapshot_bytes = len(serialize(tree))
-        entry.snapshot_extent = disk.allocate(
-            entry.snapshot_bytes, cluster_key=("snapshots", record.doc_id)
-        )
-        record.dindex.register_snapshot(number)
-        record.snapshots[number] = tree
-    return record

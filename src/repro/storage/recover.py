@@ -44,6 +44,7 @@ class RecoveryReport:
     """What recovery found and did (see ``docs/DURABILITY.md``)."""
 
     checkpoint_source: str = "none"  # "checkpoint" | "previous" | "none"
+    storage: str = "none"  # which backend the checkpoint came from
     checkpoint_errors: list = field(default_factory=list)
     records_scanned: int = 0
     records_replayed: int = 0
@@ -56,6 +57,7 @@ class RecoveryReport:
     def as_dict(self):
         return {
             "checkpoint_source": self.checkpoint_source,
+            "storage": self.storage,
             "checkpoint_errors": list(self.checkpoint_errors),
             "records_scanned": self.records_scanned,
             "records_replayed": self.records_replayed,
@@ -77,6 +79,7 @@ def recover_store(
     repair=True,
     snapshot_policy=None,
     reconstruct_policy="cost",
+    storage=None,
 ):
     """Recover ``(store, report)`` from a durable database directory.
 
@@ -84,18 +87,35 @@ def recover_store(
     history — checkpointed state via :func:`replay_history`, journal tail
     records as they are applied.  ``repair`` physically truncates a torn
     tail off ``journal.bin`` so the journal can be reopened for appends.
+
+    ``storage`` picks the checkpoint backend: ``"xml"``, ``"cas"``, or
+    ``None`` to auto-detect (a ``checkpoint.cas`` pointer generation is
+    preferred, falling back to the XML archive pair).  Journal tail
+    replay is identical either way.
     """
+    from .cas import CAS_POINTER_FILE
+
     fs = fs if fs is not None else REAL_FS
     directory = str(directory)
     checkpoint_path = os.path.join(directory, CHECKPOINT_FILE)
+    cas_pointer_path = os.path.join(directory, CAS_POINTER_FILE)
     journal_path = os.path.join(directory, JOURNAL_FILE)
     report = RecoveryReport()
 
+    candidates = []
+    if storage in (None, "cas"):
+        candidates += [
+            (cas_pointer_path, "checkpoint", "cas"),
+            (cas_pointer_path + PREV_SUFFIX, "previous", "cas"),
+        ]
+    if storage in (None, "xml"):
+        candidates += [
+            (checkpoint_path, "checkpoint", "xml"),
+            (checkpoint_path + PREV_SUFFIX, "previous", "xml"),
+        ]
+
     store = None
-    for path, label in (
-        (checkpoint_path, "checkpoint"),
-        (checkpoint_path + PREV_SUFFIX, "previous"),
-    ):
+    for path, label, fmt in candidates:
         if not fs.exists(path):
             continue
         try:
@@ -107,8 +127,10 @@ def recover_store(
                 fs=fs,
                 snapshot_policy=snapshot_policy,
                 reconstruct_policy=reconstruct_policy,
+                format=fmt,
             )
             report.checkpoint_source = label
+            report.storage = fmt
             break
         except (StorageError, OSError) as exc:
             report.checkpoint_errors.append(f"{label}: {exc}")

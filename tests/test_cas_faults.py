@@ -1,0 +1,213 @@
+"""Fault injection over the CAS backend: crash matrix, bit flips, GC safety.
+
+The same contract as ``test_crash_consistency`` but with
+``storage="cas"``: for every mutating filesystem operation k — which now
+lands inside object writes, pointer rotations, journal ops, *and GC
+deletions* — crashing at k and recovering must yield an exact history
+prefix with byte-identical surviving versions.  Because GC deletions run
+through the injected filesystem too, the matrix proves GC never deletes
+an object a retained checkpoint generation still reaches.
+"""
+
+import pytest
+
+from repro import TemporalXMLDatabase
+from repro.errors import CorruptArchiveError
+from repro.storage.cas import CAS_POINTER_FILE, CASObjectStore, read_pointer
+from repro.storage.faults import CrashError, FaultyFS, flip_bit
+from tests.test_crash_consistency import (
+    assert_recovers_to_prefix,
+    commit_history,
+    run_workload,
+    version_contents,
+)
+
+
+def reference_run_cas(tmp_path, durability):
+    fs = FaultyFS()  # counts ops, never crashes
+    db = TemporalXMLDatabase.open(
+        tmp_path / "reference", durability=durability, fs=fs, storage="cas"
+    )
+    run_workload(db)
+    db.close()
+    return commit_history(db.store), version_contents(db.store), fs.ops
+
+
+@pytest.mark.parametrize("durability", ["fsync", "journal"])
+def test_cas_crash_matrix(tmp_path, durability):
+    expected, contents, total_ops = reference_run_cas(tmp_path, durability)
+    assert len(expected) == 9
+    # The CAS checkpoints multiply the crash surface: every object write
+    # is an atomic temp+fsync+rename sequence and GC deletes are ops too.
+    assert total_ops >= 60, (
+        f"CAS workload exposes only {total_ops} crash points"
+    )
+
+    prefix_lengths = set()
+    for k in range(1, total_ops + 1):
+        directory = tmp_path / f"crash-{durability}-{k}"
+        fs = FaultyFS(crash_at=k)
+        try:
+            db = TemporalXMLDatabase.open(
+                directory, durability=durability, fs=fs, storage="cas"
+            )
+            run_workload(db)
+            db.close()
+            raise AssertionError(
+                f"crash point {k} never fired (>{fs.ops} ops?)"
+            )
+        except CrashError:
+            pass
+        survived, _report = assert_recovers_to_prefix(
+            directory, expected, contents
+        )
+        prefix_lengths.add(survived)
+
+    assert len(prefix_lengths) >= 4
+    assert max(prefix_lengths) <= len(expected)
+
+
+def test_cas_torn_write_fractions(tmp_path):
+    """Tearing the in-flight buffer at object/pointer writes stays safe."""
+    expected, contents, total_ops = reference_run_cas(tmp_path, "fsync")
+    for fraction in (0.0, 0.3, 0.9):
+        for k in (3, 11, 25, 40, 70, total_ops - 2):
+            directory = tmp_path / f"torn-{fraction}-{k}"
+            fs = FaultyFS(crash_at=k, torn_fraction=fraction)
+            try:
+                db = TemporalXMLDatabase.open(
+                    directory, durability="fsync", fs=fs, storage="cas"
+                )
+                run_workload(db)
+                db.close()
+            except CrashError:
+                pass
+            assert_recovers_to_prefix(directory, expected, contents)
+
+
+def test_gc_never_deletes_reachable_even_when_it_crashes(tmp_path):
+    """Crash GC at every deletion op; both generations must stay loadable.
+
+    After the crash, everything the two retained pointers reach must
+    still verify — a partial sweep may leave garbage, never a hole.
+    """
+    from repro.storage.cas import read_checkpoint, reachable_hashes
+
+    # Count the ops of the final checkpoint's GC phase by running clean.
+    fs = FaultyFS()
+    db = TemporalXMLDatabase.open(
+        tmp_path / "probe", durability="journal", fs=fs, storage="cas"
+    )
+    run_workload(db)
+    ops_before_gc = fs.ops - db.checkpointer.last_gc.objects_deleted
+    db.close()
+    assert db.checkpointer.last_gc is not None
+
+    directory = tmp_path / "gc-crash"
+    for k in range(max(1, ops_before_gc - 5), fs.ops + 1):
+        ffs = FaultyFS(crash_at=k)
+        target = tmp_path / f"gc-crash-{k}"
+        try:
+            crash_db = TemporalXMLDatabase.open(
+                target, durability="journal", fs=ffs, storage="cas"
+            )
+            run_workload(crash_db)
+            crash_db.close()
+        except CrashError:
+            pass
+        objstore = CASObjectStore(target)
+        for suffix in ("", ".prev"):
+            pointer = target / (CAS_POINTER_FILE + suffix)
+            if not pointer.exists():
+                continue
+            root = read_pointer(str(pointer))
+            for object_hash in reachable_hashes(objstore, root):
+                objstore.get(object_hash)  # verifies hash + CRC
+            read_checkpoint(str(pointer))  # and the full decode works
+
+
+class TestSilentCorruptionCAS:
+    def _clean_run(self, tmp_path):
+        db = TemporalXMLDatabase.open(
+            tmp_path / "db", durability="fsync", storage="cas"
+        )
+        run_workload(db)
+        db.close()
+        return (
+            tmp_path / "db",
+            commit_history(db.store),
+            version_contents(db.store),
+        )
+
+    def _largest_object(self, directory):
+        objstore = CASObjectStore(directory)
+        return max(objstore.iter_objects(), key=lambda item: item[2])
+
+    def test_bit_flip_in_object_falls_back_to_previous(self, tmp_path):
+        directory, expected, contents = self._clean_run(tmp_path)
+        # Corrupt an object reachable from the newest generation: recovery
+        # must fall back to checkpoint.cas.prev + journal replay and still
+        # reproduce the complete history.
+        pointer = directory / CAS_POINTER_FILE
+        root = read_pointer(str(pointer))
+        objstore = CASObjectStore(directory)
+        flip_bit(objstore.object_path(root), 30)
+        survived, report = assert_recovers_to_prefix(
+            str(directory), expected, contents
+        )
+        assert survived == len(expected)
+        assert report.checkpoint_source in ("previous", "none")
+        assert report.checkpoint_errors
+        # The error names the corrupted object.
+        assert any(root in error for error in report.checkpoint_errors)
+
+    def test_corrupt_pointer_falls_back(self, tmp_path):
+        directory, expected, contents = self._clean_run(tmp_path)
+        flip_bit(str(directory / CAS_POINTER_FILE), 60)
+        survived, report = assert_recovers_to_prefix(
+            str(directory), expected, contents
+        )
+        assert survived == len(expected)
+        assert report.checkpoint_errors
+
+    def test_both_generations_corrupt_is_detected(self, tmp_path):
+        directory, _expected, _contents = self._clean_run(tmp_path)
+        objstore = CASObjectStore(directory)
+        for suffix in ("", ".prev"):
+            root = read_pointer(str(directory / (CAS_POINTER_FILE + suffix)))
+            flip_bit(objstore.object_path(root), 30)
+        with pytest.raises(CorruptArchiveError):
+            TemporalXMLDatabase.open(str(directory), durability="journal")
+
+
+def test_cas_recovery_equals_xml_recovery(tmp_path):
+    """Acceptance: full recover from a CAS directory == XML-archive result."""
+    from repro.storage.persistence import archive_bytes, build_archive
+
+    dbs = {}
+    for storage in ("cas", "xml"):
+        db = TemporalXMLDatabase.open(
+            tmp_path / storage, durability="journal", storage=storage
+        )
+        run_workload(db)
+        db.close()
+        dbs[storage] = db
+
+    recovered = {}
+    for storage in ("cas", "xml"):
+        db = TemporalXMLDatabase.open(tmp_path / storage, durability="journal")
+        assert db.storage == storage  # auto-detected from the directory
+        recovered[storage] = db
+        db.close()
+
+    fingerprints = {
+        storage: archive_bytes(build_archive(db.store))
+        for storage, db in recovered.items()
+    }
+    assert fingerprints["cas"] == fingerprints["xml"]
+    assert commit_history(recovered["cas"].store) == commit_history(
+        recovered["xml"].store
+    )
+    # Queries agree too (indexes rebuilt identically on both paths).
+    q = 'SELECT X FROM doc("a.xml")[EVERY]/* X'
+    assert str(recovered["cas"].query(q)) == str(recovered["xml"].query(q))

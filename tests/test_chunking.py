@@ -1,0 +1,100 @@
+"""Content-defined chunking properties: exact cover, determinism, locality."""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.chunking import (
+    DEFAULT_PARAMS,
+    WINDOW,
+    ChunkParams,
+    chunk_bytes,
+    chunk_spans,
+)
+
+
+def random_bytes(seed, n):
+    return random.Random(seed).randbytes(n)
+
+
+class TestSpans:
+    def test_spans_cover_data_exactly(self):
+        data = random_bytes(1, 50_000)
+        spans = chunk_spans(data)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(data)
+        for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+            assert start == prev_end
+        assert b"".join(chunk_bytes(data)) == data
+
+    def test_empty_input(self):
+        assert chunk_spans(b"") == []
+        assert chunk_bytes(b"") == []
+
+    def test_short_input_is_one_chunk(self):
+        data = b"x" * (DEFAULT_PARAMS.min_size - 1)
+        assert chunk_spans(data) == [(0, len(data))]
+
+    def test_deterministic(self):
+        data = random_bytes(2, 40_000)
+        assert chunk_spans(data) == chunk_spans(data)
+
+    def test_size_bounds(self):
+        data = random_bytes(3, 120_000)
+        params = ChunkParams(min_size=256, avg_size=1024, max_size=4096)
+        spans = chunk_spans(data, params)
+        assert len(spans) > 10
+        for start, end in spans[:-1]:
+            assert params.min_size < end - start <= params.max_size
+        # The average should be in the right ballpark (loose factor-of-4
+        # bounds; the boundary condition is probabilistic).
+        mean = len(data) / len(spans)
+        assert params.avg_size / 4 <= mean <= params.avg_size * 4
+
+    def test_pathological_runs_hit_max_size(self):
+        # A constant run never matches the boundary condition; the forced
+        # cut must bound every chunk.
+        data = b"\x00" * 200_000
+        spans = chunk_spans(data)
+        for start, end in spans[:-1]:
+            assert end - start <= DEFAULT_PARAMS.max_size
+
+
+class TestLocality:
+    """An edit disturbs only nearby chunks — the property dedup rests on."""
+
+    def test_insertion_preserves_most_chunks(self):
+        base = random_bytes(4, 80_000)
+        edited = base[:40_000] + b"INSERTED-RUN" * 4 + base[40_000:]
+        before = set(chunk_bytes(base))
+        after = set(chunk_bytes(edited))
+        shared = before & after
+        assert len(shared) >= len(before) * 0.6, (
+            f"only {len(shared)}/{len(before)} chunks survived an insertion"
+        )
+
+    def test_shared_tail_realigns(self):
+        # Same content at different offsets still produces identical
+        # interior chunks (boundaries are content-defined, not positional).
+        tail = random_bytes(5, 60_000)
+        a = random_bytes(6, 500) + tail
+        b = random_bytes(7, 9_000) + tail
+        shared = set(chunk_bytes(a)) & set(chunk_bytes(b))
+        assert sum(len(c) for c in shared) >= len(tail) * 0.5
+
+
+class TestParams:
+    def test_min_below_window_rejected(self):
+        with pytest.raises(StorageError):
+            ChunkParams(min_size=WINDOW - 1, avg_size=64, max_size=128)
+
+    def test_avg_must_be_power_of_two(self):
+        with pytest.raises(StorageError):
+            ChunkParams(min_size=64, avg_size=1000, max_size=4096)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(StorageError):
+            ChunkParams(min_size=8192, avg_size=4096, max_size=32768)
+        with pytest.raises(StorageError):
+            ChunkParams(min_size=512, avg_size=4096, max_size=2048)

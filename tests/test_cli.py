@@ -292,3 +292,107 @@ class TestTrace:
         # reports have no XML envelope; the CLI falls back to text
         assert "Query" in out
         assert "total:" in out
+
+
+class TestStorageCLI:
+    """The ``--storage`` knob, ``stats -d``, and replica auto-tailing."""
+
+    def _durable_db(self, tmp_path, storage="cas"):
+        from repro import TemporalXMLDatabase
+
+        db = TemporalXMLDatabase.open(
+            tmp_path / "db", durability="journal", storage=storage
+        )
+        db.put(
+            "guide.com",
+            "<guide><restaurant><name>Napoli</name><price>15</price>"
+            "</restaurant></guide>",
+        )
+        db.checkpoint()
+        db.update(
+            "guide.com",
+            "<guide><restaurant><name>Napoli</name><price>18</price>"
+            "</restaurant></guide>",
+        )
+        db.close()
+        return tmp_path / "db"
+
+    def test_recover_cas_directory(self, tmp_path):
+        directory = self._durable_db(tmp_path)
+        code, out = _run("recover", "-d", str(directory))
+        assert code == 0
+        assert "recovered 1 document(s)" in out
+        assert "(storage: cas)" in out
+
+    def test_recover_storage_flag_migrates_backend(self, tmp_path):
+        directory = self._durable_db(tmp_path, storage="xml")
+        # xml -> cas: recovery reads the existing format, the fresh
+        # checkpoint writes the new one and retires the old files.
+        code, out = _run("recover", "-d", str(directory), "--storage", "cas")
+        assert code == 0
+        assert "checkpoint used: checkpoint (storage: xml)" in out
+        assert "fresh checkpoint written" in out
+        assert (directory / "checkpoint.cas").exists()
+        assert not (directory / "checkpoint.xml").exists()
+        code, out = _run("stats", "-d", str(directory))
+        assert "storage backend: cas" in out
+        # cas -> xml: pointers go away and the object store is swept.
+        code, out = _run("recover", "-d", str(directory), "--storage", "xml")
+        assert code == 0
+        assert "checkpoint used: checkpoint (storage: cas)" in out
+        assert (directory / "checkpoint.xml").exists()
+        assert not (directory / "checkpoint.cas").exists()
+        from repro.storage.cas import CASObjectStore
+
+        assert CASObjectStore(directory).stored_bytes() == 0
+        # Nothing was lost across the round trip.
+        code, out = _run("recover", "-d", str(directory), "--no-checkpoint")
+        assert code == 0
+        assert "recovered 1 document(s)" in out
+        assert "(storage: xml)" in out
+
+    def test_stats_dir_prints_backend_breakdown(self, tmp_path):
+        directory = self._durable_db(tmp_path)
+        code, out = _run("stats", "-d", str(directory))
+        assert code == 0
+        assert "storage backend: cas" in out
+        assert "objects:" in out
+        assert "kind[current]" in out
+        assert "dedup ratio" in out
+
+    def test_stats_dir_json_breakdown(self, tmp_path):
+        import json
+
+        directory = self._durable_db(tmp_path)
+        code, out = _run("stats", "-d", str(directory), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        storage = payload["storage"]
+        assert storage["storage"] == "cas"
+        backend = storage["backend"]
+        disk = backend["disk_by_kind"]
+        assert set(disk) >= {"current", "checkpoint"}
+        for counters in disk.values():
+            assert counters["stored_bytes"] > 0
+            assert counters["objects"] > 0
+        assert backend["disk_bytes"] > 0
+        assert storage["logical"]["total"] > 0
+
+    def test_stats_dir_xml_backend(self, tmp_path):
+        directory = self._durable_db(tmp_path, storage="xml")
+        code, out = _run("stats", "-d", str(directory))
+        assert code == 0
+        assert "storage backend: xml" in out
+        assert "checkpoint:" in out
+        assert "byte(s)" in out
+
+    def test_replica_follow_for_tails_and_exits(self, tmp_path):
+        directory = self._durable_db(tmp_path)
+        code, out = _run(
+            "replica", "-d", str(directory),
+            "--follow", "0.01", "--follow-for", "0.05",
+        )
+        assert code == 0
+        assert "following" in out
+        assert "replica of" in out
+        assert "1 document(s)" in out

@@ -268,6 +268,52 @@ def test_replica_catches_up_with_leader(tmp_path):
         replica.sessions.put("x.xml", "<a>no</a>")
 
 
+@pytest.mark.timeout(60)
+def test_replica_follow_tails_on_a_timer(tmp_path):
+    leader_dir = tmp_path / "leader"
+    leader = TemporalXMLDatabase.open(leader_dir, durability="journal")
+    plan = _make_plan(seed=23, count=8)
+    for op in plan[:4]:
+        _apply(leader, op)
+
+    replica = Replica(leader_dir)
+    stop = threading.Event()
+    applied = []
+    follower = threading.Thread(
+        target=lambda: applied.append(replica.follow(0.01, stop=stop))
+    )
+    follower.start()
+    try:
+        for op in plan[4:]:
+            _apply(leader, op)
+        deadline = time.monotonic() + 30
+        while replica.stats()["records_applied"] < len(plan) - 4:
+            assert time.monotonic() < deadline, "follow never caught up"
+            time.sleep(0.01)
+    finally:
+        stop.set()
+        follower.join()
+    # The follower applied everything committed after the seed read.
+    assert applied == [len(plan) - 4]
+    _assert_same_database(leader, replica)
+    leader.close()
+
+
+def test_replica_follow_duration_returns(tmp_path):
+    leader_dir = tmp_path / "leader"
+    leader = TemporalXMLDatabase.open(leader_dir, durability="journal")
+    plan = _make_plan(seed=29, count=4)
+    for op in plan[:2]:
+        _apply(leader, op)
+    replica = Replica(leader_dir)
+    for op in plan[2:]:
+        _apply(leader, op)
+    # A bounded follow picks up the tail and returns on its own.
+    assert replica.follow(0.01, duration=0.1) == 2
+    _assert_same_database(leader, replica)
+    leader.close()
+
+
 def _assert_same_database(leader, replica):
     for query in QUERIES:
         assert _canonical(lambda: replica.query(query)) == _canonical(
