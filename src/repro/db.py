@@ -99,6 +99,19 @@ class TemporalXMLDatabase:
         """Logically delete a document (history stays queryable)."""
         self.store.delete(name, ts=ts)
 
+    def batch(self):
+        """Open a group-commit batch: stage several put/update/delete ops,
+        commit them as one journal group with a single fsync::
+
+            with db.batch() as b:
+                b.put("a.xml", "<doc/>")
+                b.update("b.xml", "<doc>new</doc>")
+
+        Returns a :class:`~repro.storage.store.CommitBatch` (commits on
+        clean ``with``-exit, aborts untouched on exception).  See
+        ``docs/DURABILITY.md`` and ``docs/PERFORMANCE.md``."""
+        return self.store.batch()
+
     # -- queries ------------------------------------------------------------------
 
     def query(self, text):

@@ -19,6 +19,7 @@ from .fti import TemporalFullTextIndex
 from .delta_fti import DeltaOperationIndex, EventPosting
 from .hybrid_fti import HybridIndex
 from .lifetime import LifetimeIndex
+from .relevance import ScoredDoc, TemporalKeywordScorer
 from .stats import IndexStats, JoinStats
 
 __all__ = [
@@ -30,6 +31,8 @@ __all__ = [
     "EventPosting",
     "HybridIndex",
     "LifetimeIndex",
+    "ScoredDoc",
+    "TemporalKeywordScorer",
     "IndexStats",
     "JoinStats",
 ]

@@ -30,6 +30,7 @@ the store already takes.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..errors import StorageError
@@ -108,6 +109,33 @@ class SessionManager:
             self.db.delete(name, ts=ts)
             self._publish()
 
+    @contextmanager
+    def batch(self):
+        """Group-commit through the writer path: stage several ops, commit
+        them as one journal group, publish **one** epoch::
+
+            with manager.batch() as b:
+                b.put("a.xml", "<doc/>")
+                b.update("b.xml", "<doc>new</doc>")
+
+        The commit lock is held for the whole group and the published
+        pointer moves exactly once, after every member commit has reached
+        every structure — so a pinned reader either sees none of the group
+        or all of it, never a half-applied prefix."""
+        with self._commit_lock:
+            self._check_writable()
+            staged = self.db.batch()
+            try:
+                yield staged
+            except BaseException:
+                if not staged._closed:
+                    staged.abort()
+                raise
+            if not staged._closed:
+                staged.commit()
+            if staged.results:
+                self._publish(members=len(staged.results))
+
     def _check_writable(self):
         if self.read_only:
             raise StorageError(
@@ -115,17 +143,18 @@ class SessionManager:
                 "replica); send writes to the leader"
             )
 
-    def _publish(self):
+    def _publish(self, members=1):
         """Swap the published pointer.  Runs *after* the commit has reached
         every structure a pinned reader could touch (repository, delta
         index, FTI, lifetime index, journal), so the instant a reader
-        observes the new state, everything it references is in place."""
+        observes the new state, everything it references is in place.
+        A commit group publishes one epoch covering ``members`` commits."""
         previous = self._published
         self._published = PublishedState(
             previous.seq + 1, self.db.store.clock.now()
         )
         with self._counter_lock:
-            self.commits += 1
+            self.commits += members
 
     def stats(self):
         published = self._published

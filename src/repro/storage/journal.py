@@ -34,6 +34,18 @@ invalid one — everything before it is intact by construction.
     flush to the OS after every record, ``fsync`` only at checkpoints and
     on ``close()`` — a crash of the *process* loses nothing, a crash of
     the *machine* may lose the un-synced suffix (``durability="journal"``).
+
+**Commit groups.**  A batch of commits
+(:meth:`~repro.storage.store.TemporalDocumentStore.batch`) is journaled as
+*one* physical record of kind ``"group"`` whose payload nests the member
+``<j>`` elements inside a single ``<j kind="group">`` envelope.  One frame,
+one CRC, one write, one fsync — the group-commit amortization — and the
+frame-level checksum makes the group atomic by construction: a torn or
+corrupt group record drops *all* of its members, never a prefix of them,
+so recovery replays commit groups all-or-nothing (see
+``docs/DURABILITY.md``).  Between :meth:`CommitJournal.begin_group` and
+:meth:`CommitJournal.commit_group` appended records are staged in memory;
+:meth:`CommitJournal.abort_group` discards them without touching the file.
 """
 
 from __future__ import annotations
@@ -54,18 +66,30 @@ MAGIC = b"TXJRNL1\n"
 
 _FRAME = struct.Struct(">II")  # record length, payload crc32
 
-#: Record kinds the journal understands.
-KINDS = ("create", "update", "delete", "snapshot")
+#: Record kinds the journal understands.  ``"group"`` is an envelope whose
+#: payload nests the member records of one commit group.
+KINDS = ("create", "update", "delete", "snapshot", "group")
+
+#: Kinds allowed *inside* a group envelope (groups never nest).
+MEMBER_KINDS = ("create", "update", "delete", "snapshot")
 
 
 @dataclass
 class JournalStats:
-    """Counters exposed for the bench harness and the CLI."""
+    """Counters exposed for the bench harness and the CLI.
+
+    ``records_written`` counts *physical* records (a whole commit group is
+    one); ``by_kind`` counts *logical* records (group members individually),
+    so ``fsyncs / records_written`` is the amortization the group-commit
+    benchmark measures while ``by_kind`` still reflects commit traffic.
+    """
 
     records_written: int = 0
     bytes_written: int = 0
     fsyncs: int = 0
     rolls: int = 0
+    groups_written: int = 0
+    group_members: int = 0
     by_kind: dict = field(default_factory=dict)
 
     def as_dict(self):
@@ -74,13 +98,20 @@ class JournalStats:
             "bytes_written": self.bytes_written,
             "fsyncs": self.fsyncs,
             "rolls": self.rolls,
+            "groups_written": self.groups_written,
+            "group_members": self.group_members,
             "by_kind": dict(self.by_kind),
         }
 
 
 @dataclass
 class JournalRecord:
-    """One journaled commit (or snapshot materialization)."""
+    """One journaled commit (or snapshot materialization, or a group).
+
+    For ``kind == "group"`` the record is an envelope: ``members`` holds
+    the batched commit records in application order, ``version`` carries
+    the member count, and ``ts`` the last member's timestamp.
+    """
 
     kind: str
     doc_id: int
@@ -89,9 +120,29 @@ class JournalRecord:
     ts: int
     nextxid: int = None
     body: object = None  # stamped tree (create) / <delta> element (update)
+    members: list = None  # group envelopes only
 
-    def to_payload(self):
-        """Encode as compact XML bytes (the CRC-protected record payload)."""
+    @classmethod
+    def group(cls, members):
+        """Build a group envelope over ``members`` (commit records)."""
+        if not members:
+            raise StorageError("a commit group must contain records")
+        for member in members:
+            if member.kind not in MEMBER_KINDS:
+                raise StorageError(
+                    f"commit groups cannot nest {member.kind!r} records"
+                )
+        return cls(
+            kind="group",
+            doc_id=0,
+            name="",
+            version=len(members),
+            ts=members[-1].ts,
+            members=list(members),
+        )
+
+    def to_element(self):
+        """The record as a ``<j>`` element (nests members for groups)."""
         element = Element(
             "j",
             {
@@ -104,15 +155,21 @@ class JournalRecord:
         )
         if self.nextxid is not None:
             element.set("nextxid", str(self.nextxid))
-        if self.body is not None:
+        if self.kind == "group":
+            for member in self.members:
+                element.append(member.to_element())
+        elif self.body is not None:
             element.append(self.body)
-        return serialize(element).encode("utf-8")
+        return element
+
+    def to_payload(self):
+        """Encode as compact XML bytes (the CRC-protected record payload)."""
+        return serialize(self.to_element()).encode("utf-8")
 
     @classmethod
-    def from_payload(cls, payload):
-        """Decode a record payload; raises :class:`StorageError` when the
-        bytes are valid XML but not a journal record."""
-        element = parse(payload.decode("utf-8"))
+    def from_element(cls, element, nested=False):
+        """Decode a ``<j>`` element; raises :class:`StorageError` when it is
+        not a (well-formed) journal record."""
         if element.tag != "j":
             raise StorageError(f"not a journal record: <{element.tag}>")
         kind = element.get("kind")
@@ -120,6 +177,19 @@ class JournalRecord:
             raise StorageError(f"unknown journal record kind {kind!r}")
         children = element.child_elements()
         nextxid = element.get("nextxid")
+        if kind == "group":
+            if nested:
+                raise StorageError("commit groups cannot nest")
+            members = [
+                cls.from_element(child, nested=True) for child in children
+            ]
+            if not members:
+                raise StorageError("empty commit group record")
+            if len(members) != int(element.get("version")):
+                raise StorageError(
+                    "commit group member count does not match its header"
+                )
+            return cls.group(members)
         return cls(
             kind=kind,
             doc_id=int(element.get("doc")),
@@ -129,6 +199,12 @@ class JournalRecord:
             nextxid=int(nextxid) if nextxid is not None else None,
             body=children[0] if children else None,
         )
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Decode a record payload; raises :class:`StorageError` when the
+        bytes are valid XML but not a journal record."""
+        return cls.from_element(parse(payload.decode("utf-8")))
 
     # -- body decoding helpers (used by recovery) ---------------------------
 
@@ -161,6 +237,7 @@ class CommitJournal:
         self.stats = JournalStats()
         self._store = None
         self._handle = None
+        self._staged = None  # list while a commit group is open
         self._open()
 
     def _open(self):
@@ -235,16 +312,64 @@ class CommitJournal:
     # -- writing -------------------------------------------------------------
 
     def append(self, record):
-        """Frame, checksum, and append one record per the fsync policy."""
+        """Frame, checksum, and append one record per the fsync policy.
+
+        Inside an open commit group the record is only *staged*; nothing
+        reaches the file until :meth:`commit_group` writes the whole group
+        as one physical record."""
+        if self._staged is not None:
+            self._staged.append(record)
+            return
+        self._write_record(record)
+
+    def _write_record(self, record):
         payload = record.to_payload()
         frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
         self.fs.write(self._handle, frame + payload)
         self._sync_or_flush()
         self.stats.records_written += 1
         self.stats.bytes_written += len(frame) + len(payload)
-        self.stats.by_kind[record.kind] = (
-            self.stats.by_kind.get(record.kind, 0) + 1
-        )
+        if record.kind == "group":
+            for member in record.members:
+                self.stats.by_kind[member.kind] = (
+                    self.stats.by_kind.get(member.kind, 0) + 1
+                )
+        else:
+            self.stats.by_kind[record.kind] = (
+                self.stats.by_kind.get(record.kind, 0) + 1
+            )
+
+    # -- commit groups -------------------------------------------------------
+
+    @property
+    def in_group(self):
+        return self._staged is not None
+
+    def begin_group(self):
+        """Start staging: subsequent appends collect in memory."""
+        if self._staged is not None:
+            raise StorageError("a commit group is already open")
+        self._staged = []
+
+    def commit_group(self):
+        """Write every staged record as one group envelope — one frame,
+        one write, one fsync (under the ``"commit"`` policy).  An empty
+        group writes nothing.  Returns the number of member records."""
+        if self._staged is None:
+            raise StorageError("no commit group is open")
+        staged, self._staged = self._staged, None
+        if not staged:
+            return 0
+        self._write_record(JournalRecord.group(staged))
+        self.stats.groups_written += 1
+        self.stats.group_members += len(staged)
+        return len(staged)
+
+    def abort_group(self):
+        """Discard the staged records; the file is untouched."""
+        if self._staged is None:
+            raise StorageError("no commit group is open")
+        self._staged = None
 
     def _sync_or_flush(self):
         if self.fsync_policy == "commit":
@@ -263,6 +388,8 @@ class CommitJournal:
         fresh.  The rotated generation (``<path>.prev`` by default) is kept
         for one checkpoint cycle so recovery can fall back to the previous
         checkpoint without losing its tail."""
+        if self._staged is not None:
+            raise StorageError("cannot roll the journal inside a commit group")
         self.sync()
         self.fs.close(self._handle)
         self._handle = None

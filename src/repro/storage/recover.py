@@ -236,6 +236,17 @@ def _apply_record(store, rec, observers):
             "delete", rec.doc_id, rec.name, doc.dindex.current_number,
             rec.ts, old_root=doc.current_root,
         )
+    elif rec.kind == "group":
+        # A commit group is atomic at the *frame* level: the whole record
+        # either passed its CRC or was dropped by the scan, so by the time
+        # we are here every member is intact — replay them in commit order.
+        # Idempotence stays per-member (a checkpoint may already contain a
+        # prefix of the group's effects).
+        applied = False
+        for member in rec.members:
+            if _apply_record(store, member, observers):
+                applied = True
+        return applied
     elif rec.kind == "snapshot":
         doc = _known_document(store, rec)
         if rec.version > doc.dindex.current_number:

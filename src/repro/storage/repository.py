@@ -212,6 +212,7 @@ class Repository:
         self.cache = VersionCache(cache_size)
         self._records = {}
         self._next_doc_id = 1
+        self._group_pending = None  # [(record, entry)] while a group is open
         self.delta_reads = 0  # logical delta-read counter (paper's metric)
         self.snapshot_reads = 0
         self.current_reads = 0
@@ -278,13 +279,47 @@ class Repository:
         record.dindex.append(entry)
         record.set_current(new_number, new_root, new_extent, new_bytes)
 
-        if self.snapshot_interval and new_number % self.snapshot_interval == 0:
-            self.materialize_snapshot(record, new_number)
-        elif self.snapshot_policy is not None and (
-            self.snapshot_policy.should_snapshot(record, entry)
-        ):
+        if self._group_pending is not None:
+            # Inside a commit group the snapshot-placement decision is
+            # deferred to end_group(); evaluating it per-entry in commit
+            # order there yields the same placements as deciding here.
+            self._group_pending.append((record, entry))
+        elif self._should_snapshot(record, entry):
             self.materialize_snapshot(record, new_number)
         return entry
+
+    def _should_snapshot(self, record, entry):
+        if self.snapshot_interval:
+            return entry.number % self.snapshot_interval == 0
+        if self.snapshot_policy is not None:
+            return self.snapshot_policy.should_snapshot(record, entry)
+        return False
+
+    # -- commit groups ------------------------------------------------------------
+
+    def begin_group(self):
+        """Defer snapshot-placement decisions until :meth:`end_group`."""
+        if self._group_pending is not None:
+            raise StorageError("a repository commit group is already open")
+        self._group_pending = []
+
+    def end_group(self):
+        """Evaluate deferred snapshot decisions in commit order.
+
+        Returns the list of ``(record, entry)`` pairs that were committed
+        inside the group (snapshots, where due, already materialized).
+        """
+        if self._group_pending is None:
+            raise StorageError("no repository commit group is open")
+        pending, self._group_pending = self._group_pending, None
+        for record, entry in pending:
+            if self._should_snapshot(record, entry):
+                self.materialize_snapshot(record, entry.number)
+        return pending
+
+    def abort_group(self):
+        """Drop the deferred-decision list (state changes are not undone)."""
+        self._group_pending = None
 
     def materialize_snapshot(self, record, number):
         """Store a full snapshot of version ``number`` (must be reachable)."""

@@ -9,6 +9,10 @@
   configurable update/insert/delete rates.
 * :mod:`repro.workload.words` — Zipf-distributed vocabulary shared by the
   generators.
+* :mod:`repro.workload.ingest` — warehouse-scale batched ingestion
+  drivers (group-commit streaming of synthetic or crawled histories).
+* :mod:`repro.workload.keyword` — the temporal keyword-search query
+  stream with tracer-measured latencies.
 
 Everything is deterministic under a seed.
 """
@@ -21,6 +25,14 @@ from .restaurant import (
     load_figure1,
 )
 from .tdocgen import TDocGenerator, build_collection
+from .ingest import (
+    BatchingWriter,
+    IngestReport,
+    build_simulated_web,
+    ingest_crawl,
+    ingest_synthetic,
+)
+from .keyword import KeywordQuery, KeywordRunReport, KeywordWorkload
 
 __all__ = [
     "Vocabulary",
@@ -30,4 +42,12 @@ __all__ = [
     "RestaurantGuideGenerator",
     "TDocGenerator",
     "build_collection",
+    "BatchingWriter",
+    "IngestReport",
+    "build_simulated_web",
+    "ingest_crawl",
+    "ingest_synthetic",
+    "KeywordQuery",
+    "KeywordRunReport",
+    "KeywordWorkload",
 ]

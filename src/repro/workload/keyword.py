@@ -1,0 +1,140 @@
+"""Temporal keyword-search workload: seeded ranked queries + latencies.
+
+The query side of the scale harness (ROADMAP item 5): a deterministic
+stream of keyword queries — Zipf-skewed terms, a mix of instant
+(``as of``) and windowed (``during``) searches — executed through
+:class:`~repro.index.relevance.TemporalKeywordScorer` under the PR-5
+tracer, so every query's wall-clock latency is a span and the run
+report carries p50/p95.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..index.relevance import TemporalKeywordScorer
+from ..obs.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """One generated query: terms plus its temporal shape."""
+
+    terms: tuple
+    mode: str  # "instant" | "window"
+    start: int  # the instant for mode="instant"
+    end: int = 0  # exclusive window end (window mode only)
+
+
+@dataclass
+class KeywordRunReport:
+    """Latency and result accounting for one query stream."""
+
+    queries: int = 0
+    instant_queries: int = 0
+    window_queries: int = 0
+    results: int = 0
+    empty_results: int = 0
+    latencies_ms: list = field(default_factory=list)
+
+    def percentile(self, fraction):
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(
+            len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def as_dict(self):
+        return {
+            "queries": self.queries,
+            "instant_queries": self.instant_queries,
+            "window_queries": self.window_queries,
+            "results": self.results,
+            "empty_results": self.empty_results,
+            "p50_ms": round(self.percentile(0.50), 4),
+            "p95_ms": round(self.percentile(0.95), 4),
+            "max_ms": round(max(self.latencies_ms, default=0.0), 4),
+        }
+
+
+class KeywordWorkload:
+    """Deterministic ranked-search stream over an ingested history.
+
+    ``fti`` is the store's temporal full-text index, ``words`` the
+    vocabulary the ingested documents drew from (query terms are sampled
+    across its frequency spectrum so both fat and thin posting lists are
+    exercised), and ``[start_ts, end_ts)`` the ingested commit-time
+    range queries address."""
+
+    def __init__(self, fti, words, start_ts, end_ts, seed=0, n_docs=None):
+        if start_ts >= end_ts:
+            raise ValueError("workload needs a non-empty history range")
+        self.scorer = TemporalKeywordScorer(fti)
+        self.words = list(words)
+        self.start_ts = start_ts
+        self.end_ts = end_ts
+        self.seed = seed
+        self.n_docs = n_docs
+
+    def make_queries(self, count, terms_per_query=(1, 3), p_window=0.4):
+        """``count`` seeded queries (same seed → identical stream)."""
+        rng = random.Random(self.seed)
+        horizon = self.end_ts - self.start_ts
+        queries = []
+        for _ in range(count):
+            n_terms = rng.randint(*terms_per_query)
+            # Sample ranks uniformly in log-space so rare terms show up
+            # despite the Zipf head dominating the documents themselves.
+            terms = tuple(
+                self.words[
+                    min(
+                        len(self.words) - 1,
+                        int(len(self.words) ** rng.random()) - 1,
+                    )
+                ]
+                for _ in range(n_terms)
+            )
+            if rng.random() < p_window:
+                a = self.start_ts + rng.randrange(horizon)
+                b = self.start_ts + rng.randrange(horizon)
+                lo, hi = min(a, b), max(a, b)
+                queries.append(
+                    KeywordQuery(terms, "window", lo, hi + 1)
+                )
+            else:
+                ts = self.start_ts + rng.randrange(horizon)
+                queries.append(KeywordQuery(terms, "instant", ts))
+        return queries
+
+    def run(self, queries, tracer=None, limit=10):
+        """Execute ``queries``; every search runs inside a tracer span
+        named ``keyword_query`` whose ``wall_ms`` is the query latency.
+        Returns ``(report, tracer)``."""
+        if tracer is None:
+            tracer = Tracer()
+        report = KeywordRunReport()
+        for query in queries:
+            with tracer.span(
+                "keyword_query", mode=query.mode, terms=len(query.terms)
+            ) as span:
+                if query.mode == "instant":
+                    ranked = self.scorer.search_t(
+                        query.terms, query.start,
+                        n_docs=self.n_docs, limit=limit,
+                    )
+                    report.instant_queries += 1
+                else:
+                    ranked = self.scorer.search_window(
+                        query.terms, query.start, query.end,
+                        n_docs=self.n_docs, limit=limit,
+                    )
+                    report.window_queries += 1
+            report.queries += 1
+            report.results += len(ranked)
+            if not ranked:
+                report.empty_results += 1
+            report.latencies_ms.append(span.wall_ms)
+        return report, tracer

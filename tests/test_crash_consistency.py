@@ -155,6 +155,103 @@ def test_torn_write_fractions(tmp_path):
             assert_recovers_to_prefix(directory, expected, contents)
 
 
+def run_grouped_workload(db):
+    """The same 9 commits as :func:`run_workload`, but through commit
+    groups of 3 / 2 / 3 / 1 with a checkpoint in the middle."""
+    with db.batch() as b:
+        b.put("a.xml", A1)
+        b.put("b.xml", B1)
+        b.update("a.xml", A2)
+    with db.batch() as b:
+        b.update("b.xml", B2)
+        b.update("a.xml", A3)
+    db.checkpoint()
+    with db.batch() as b:
+        b.put("c.xml", C1)
+        b.delete("b.xml")
+        b.update("c.xml", C2)
+    with db.batch() as b:
+        b.update("a.xml", A4)
+
+
+#: Commit counts at which a crashed grouped run may legally land: whole
+#: groups only — 0, 3, 5, 8, or all 9 commits.
+GROUP_BOUNDARIES = frozenset({0, 3, 5, 8, 9})
+
+
+class TestGroupCommitCrashMatrix:
+    """All-or-nothing: no crash point may ever split a commit group."""
+
+    def _reference(self, tmp_path, storage):
+        fs = FaultyFS()  # counts ops, never crashes
+        db = TemporalXMLDatabase.open(
+            tmp_path / "reference", durability="fsync", fs=fs,
+            storage=storage,
+        )
+        run_grouped_workload(db)
+        db.close()
+        expected = commit_history(db.store)
+        assert len(expected) == 9
+        return expected, version_contents(db.store), fs.ops
+
+    @pytest.mark.parametrize("storage", ["xml", "cas"])
+    def test_group_crash_matrix(self, tmp_path, storage):
+        expected, contents, total_ops = self._reference(tmp_path, storage)
+        prefix_lengths = set()
+        for k in range(1, total_ops + 1):
+            directory = tmp_path / f"gcrash-{storage}-{k}"
+            fs = FaultyFS(crash_at=k)
+            try:
+                db = TemporalXMLDatabase.open(
+                    directory, durability="fsync", fs=fs, storage=storage
+                )
+                run_grouped_workload(db)
+                db.close()
+                raise AssertionError(
+                    f"crash point {k} never fired (>{fs.ops} ops?)"
+                )
+            except CrashError:
+                pass
+            survived, _report = assert_recovers_to_prefix(
+                directory, expected, contents
+            )
+            assert survived in GROUP_BOUNDARIES, (
+                f"crash point {k} ({storage}) split a commit group: "
+                f"{survived} commits survived"
+            )
+            prefix_lengths.add(survived)
+        # The matrix must land on several distinct group boundaries, not
+        # just the endpoints.
+        assert len(prefix_lengths) >= 3
+
+    @pytest.mark.parametrize("storage", ["xml", "cas"])
+    def test_torn_group_writes_stay_atomic(self, tmp_path, storage):
+        """Partial bytes of the in-flight group record reaching disk must
+        still drop the whole group on recovery."""
+        expected, contents, total_ops = self._reference(
+            tmp_path / "torn", storage
+        )
+        for fraction in (0.3, 0.9):
+            for k in (2, 5, 9, 14, total_ops - 3):
+                directory = tmp_path / f"gtorn-{storage}-{fraction}-{k}"
+                fs = FaultyFS(crash_at=k, torn_fraction=fraction)
+                try:
+                    db = TemporalXMLDatabase.open(
+                        directory, durability="fsync", fs=fs, storage=storage
+                    )
+                    run_grouped_workload(db)
+                    db.close()
+                except CrashError:
+                    pass
+                survived, _report = assert_recovers_to_prefix(
+                    directory, expected, contents
+                )
+                assert survived in GROUP_BOUNDARIES, (
+                    f"torn write {fraction}@{k} ({storage}) split a group: "
+                    f"{survived}"
+                )
+
+
 class TestSilentCorruption:
     def _clean_run(self, tmp_path):
         db = TemporalXMLDatabase.open(tmp_path / "db", durability="fsync")

@@ -163,6 +163,118 @@ class TestScan:
         assert len(scan.records) <= 1
 
 
+class TestCommitGroups:
+    def _member(self, kind="delete", version=1, ts=10):
+        return JournalRecord(
+            kind=kind, doc_id=1, name="a.xml", version=version, ts=ts
+        )
+
+    def test_group_record_round_trip(self):
+        members = [self._member(ts=10), self._member(version=2, ts=11)]
+        record = JournalRecord.group(members)
+        back = JournalRecord.from_payload(record.to_payload())
+        assert back.kind == "group"
+        assert len(back.members) == 2
+        assert [(m.kind, m.doc_id, m.version, m.ts) for m in back.members] == [
+            ("delete", 1, 1, 10), ("delete", 1, 2, 11),
+        ]
+
+    def test_empty_and_nested_groups_rejected(self):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            JournalRecord.group([])
+        inner = JournalRecord.group([self._member()])
+        with pytest.raises(StorageError):
+            JournalRecord.group([inner])
+
+    def test_group_is_one_physical_record_one_fsync(self, tmp_path):
+        journal = CommitJournal(
+            str(tmp_path / "journal.bin"), fsync_policy="commit"
+        )
+        header_fsyncs = journal.stats.fsyncs
+        journal.begin_group()
+        assert journal.in_group
+        for i in range(5):
+            journal.append(self._member(version=i + 1, ts=10 + i))
+        assert journal.stats.records_written == 0  # staged, not written
+        assert journal.commit_group() == 5
+        journal.close()
+        assert journal.stats.records_written == 1
+        assert journal.stats.fsyncs - header_fsyncs == 2  # group + close
+        assert journal.stats.groups_written == 1
+        assert journal.stats.group_members == 5
+        assert journal.stats.by_kind["delete"] == 5
+
+        records = verify_journal(str(tmp_path / "journal.bin"))
+        assert [r.kind for r in records] == ["group"]
+        assert len(records[0].members) == 5
+
+    def test_abort_group_leaves_file_untouched(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = CommitJournal(str(path))
+        before = path.read_bytes()
+        journal.begin_group()
+        journal.append(self._member())
+        journal.abort_group()
+        journal.close()
+        assert path.read_bytes() == before
+        assert verify_journal(str(path)) == []
+
+    def test_empty_group_commit_writes_nothing(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = CommitJournal(str(path))
+        journal.begin_group()
+        assert journal.commit_group() == 0
+        journal.close()
+        assert verify_journal(str(path)) == []
+
+    def test_roll_refused_inside_group(self, tmp_path):
+        from repro.errors import StorageError
+
+        journal = CommitJournal(str(tmp_path / "journal.bin"))
+        journal.begin_group()
+        with pytest.raises(StorageError):
+            journal.roll()
+        journal.abort_group()
+        journal.close()
+
+    def test_torn_group_drops_all_members(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = CommitJournal(str(path))
+        journal.append(self._member(ts=5))  # a plain record before the group
+        journal.begin_group()
+        for i in range(3):
+            journal.append(self._member(version=i + 1, ts=10 + i))
+        journal.commit_group()
+        journal.close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])  # tear inside the group payload
+
+        scan = scan_journal(str(path))
+        assert scan.torn
+        # All-or-nothing: the whole group vanished, never a member prefix.
+        assert [r.kind for r in scan.records] == ["delete"]
+
+    def test_store_batch_journals_one_group(self, tmp_path):
+        store = TemporalDocumentStore(snapshot_interval=2)
+        journal = CommitJournal(str(tmp_path / "journal.bin"))
+        store.attach_journal(journal)
+        with store.batch() as batch:
+            batch.put("a.xml", "<doc><x>one</x></doc>")
+            batch.update("a.xml", "<doc><x>two</x></doc>")
+            batch.update("a.xml", "<doc><x>three</x></doc>")
+            batch.delete("a.xml")
+        journal.close()
+        records = verify_journal(str(tmp_path / "journal.bin"))
+        assert [r.kind for r in records] == ["group"]
+        kinds = [m.kind for m in records[0].members]
+        # The deferred snapshot decision (version 2) is journaled inside
+        # the same group, after the member commits.
+        assert kinds == ["create", "update", "update", "delete", "snapshot"]
+        assert [m.version for m in records[0].members] == [1, 2, 3, 3, 2]
+
+
 class TestFaultyFS:
     def test_crash_at_counts_and_kills(self, tmp_path):
         fs = FaultyFS(crash_at=2)

@@ -44,16 +44,21 @@ def world():
     }
     committed = {name: [] for name in names}
     for round_index in range(VERSIONS):
-        for name in names:
-            tree = sequences[name][round_index]
-            committed[name].append(serialize(tree))
-            if round_index == 0:
-                store.put(name, tree.copy(), ts=ts)
-                stratum.put(name, tree.copy(), ts=ts)
-            else:
-                store.update(name, tree.copy(), ts=ts)
-                stratum.update(name, tree.copy(), ts=ts)
-            ts += 3600
+        # Store commits flow through one commit group per round (the
+        # group-commit batch path); the stratum commits per-op — the
+        # stratum-equivalence test below then doubles as a whole-system
+        # check that batching changes nothing observable.
+        with store.batch() as group:
+            for name in names:
+                tree = sequences[name][round_index]
+                committed[name].append(serialize(tree))
+                if round_index == 0:
+                    group.put(name, tree.copy(), ts=ts)
+                    stratum.put(name, tree.copy(), ts=ts)
+                else:
+                    group.update(name, tree.copy(), ts=ts)
+                    stratum.update(name, tree.copy(), ts=ts)
+                ts += 3600
     # Delete a few documents at the end.
     for name in names[:3]:
         store.delete(name, ts=ts)
