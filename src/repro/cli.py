@@ -19,6 +19,7 @@ Mutating commands load the archive, apply the commit, and save it back;
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -49,8 +50,14 @@ def build_parser():
                        help="print the <results> envelope instead of a table")
     query.set_defaults(handler=_cmd_query)
 
-    explain = with_archive("explain", "show the plan for a TXQL query")
+    explain = with_archive(
+        "explain",
+        "show the chosen plan for a TXQL query, with cost estimates and "
+        "the rejected alternatives",
+    )
     explain.add_argument("text", help="the TXQL query")
+    explain.add_argument("--json", action="store_true",
+                         help="print the plan as JSON instead of text")
     explain.set_defaults(handler=_cmd_explain)
 
     trace = with_archive(
@@ -259,7 +266,11 @@ def _cmd_query(args, out):
 
 def _cmd_explain(args, out):
     db = _open(args)
-    print(db.engine.explain_text(args.text), file=out)
+    if args.json:
+        plan = {"query": args.text, "plan": db.engine.explain(args.text)}
+        print(json.dumps(plan, indent=2, sort_keys=True), file=out)
+    else:
+        print(db.engine.explain_text(args.text), file=out)
     return 0
 
 

@@ -80,7 +80,7 @@ class TemporalXMLDatabase:
         self.fti = self.store.subscribe(TemporalFullTextIndex())
         self.lifetime = self.store.subscribe(LifetimeIndex())
         if options is None:
-            options = QueryOptions(lifetime_strategy="index")
+            options = QueryOptions(lifetime_strategy="auto")
         self.engine = QueryEngine(
             self.store, fti=self.fti, lifetime=self.lifetime, options=options
         )
@@ -164,7 +164,7 @@ class TemporalXMLDatabase:
         db.store.subscribe(db.fti)
         db.store.subscribe(db.lifetime)
         if options is None:
-            options = QueryOptions(lifetime_strategy="index")
+            options = QueryOptions(lifetime_strategy="auto")
         db.engine = QueryEngine(
             db.store, fti=db.fti, lifetime=db.lifetime, options=options
         )
@@ -248,7 +248,7 @@ class TemporalXMLDatabase:
         db.store.subscribe(db.fti)
         db.store.subscribe(db.lifetime)
         if options is None:
-            options = QueryOptions(lifetime_strategy="index")
+            options = QueryOptions(lifetime_strategy="auto")
         db.engine = QueryEngine(
             db.store, fti=db.fti, lifetime=db.lifetime, options=options
         )

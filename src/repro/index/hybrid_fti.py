@@ -50,6 +50,23 @@ class HybridIndex:
     def lookup_h(self, word, docs=None):
         return self.content.lookup_h(word, docs=docs)
 
+    def lookup_w(self, word, start, end, docs=None):
+        return self.content.lookup_w(word, start, end, docs=docs)
+
+    # -- planner probes (content side) ----------------------------------------
+
+    def term_stats(self, word):
+        return self.content.term_stats(word)
+
+    def postings_at_or_before(self, word, ts):
+        return self.content.postings_at_or_before(word, ts)
+
+    def postings_starting_before(self, word, end):
+        return self.content.postings_starting_before(word, end)
+
+    def distinct_terms(self):
+        return self.content.distinct_terms()
+
     def events_for_word(self, word, op=None):
         return self.operations.events_for_word(word, op)
 

@@ -31,6 +31,20 @@ distinct documents matched by any query term, which keeps the scorer
 self-contained and the *ranking* well-defined).  Ties break on doc_id,
 so rankings are fully deterministic — the xml/cas differential test
 depends on that.
+
+Two planner-era optimizations, both ranking-preserving:
+
+* query terms are deduplicated and retrieved **rarest first** (by the
+  index's history posting counts), so conjunctive queries shrink their
+  candidate set as early as possible;
+* ``search_window`` reads windowed posting lists (``lookup_w``) when the
+  index provides them — only postings overlapping the window are ever
+  scanned, instead of the full history list per term.  Flip
+  ``windowed_lookup=False`` to measure what that saves.
+
+``match_all=True`` turns either search conjunctive: each term's lookup is
+restricted (via the ``docs=`` pushdown) to the documents that matched all
+rarer terms before it, with an early exit once the intersection empties.
 """
 
 from __future__ import annotations
@@ -51,29 +65,40 @@ class ScoredDoc:
 
 
 class TemporalKeywordScorer:
-    """Ranked keyword search over a temporal full-text index."""
+    """Ranked keyword search over a temporal full-text index.
 
-    def __init__(self, fti):
+    ``windowed_lookup=False`` restores the legacy full-history retrieval
+    in :meth:`search_window` (the benchmark baseline)."""
+
+    def __init__(self, fti, windowed_lookup=True):
         self.fti = fti
+        self.windowed_lookup = windowed_lookup
 
     # -- query shapes ---------------------------------------------------------
 
-    def search_t(self, query, ts, n_docs=None, limit=None):
+    def search_t(self, query, ts, n_docs=None, limit=None, match_all=False):
         """Ranked documents as of instant ``ts``.
 
         ``query`` is free text (tokenized like indexed content) or a
         pre-tokenized term list.  Returns :class:`ScoredDoc` rows sorted
-        by descending score (doc_id breaks ties)."""
+        by descending score (doc_id breaks ties).  ``match_all=True``
+        keeps only documents holding *every* query term."""
         terms = self._terms(query)
         tfs = {}
+        docs = None
         for term in terms:
             per_doc = {}
-            for posting in self.fti.lookup_t(term, ts):
+            for posting in self.fti.lookup_t(term, ts, docs=docs):
                 per_doc[posting.doc_id] = per_doc.get(posting.doc_id, 0) + 1
             tfs[term] = per_doc
-        return self._rank(tfs, n_docs, limit)
+            if match_all:
+                docs = set(per_doc)
+                if not docs:
+                    return []
+        return self._rank(tfs, n_docs, limit, require_all=match_all)
 
-    def search_window(self, query, start, end, n_docs=None, limit=None):
+    def search_window(self, query, start, end, n_docs=None, limit=None,
+                      match_all=False):
         """Ranked documents over the window ``[start, end)``.
 
         Each posting contributes its temporal coverage of the window
@@ -82,11 +107,17 @@ class TemporalKeywordScorer:
         if start >= end:
             raise ValueError(f"empty search window [{start}, {end})")
         terms = self._terms(query)
+        windowed = self.windowed_lookup and hasattr(self.fti, "lookup_w")
         span = end - start
         tfs = {}
+        docs = None
         for term in terms:
+            if windowed:
+                postings = self.fti.lookup_w(term, start, end, docs=docs)
+            else:
+                postings = self.fti.lookup_h(term, docs=docs)
             per_doc = {}
-            for posting in self.fti.lookup_h(term):
+            for posting in postings:
                 if posting.start >= end or posting.end <= start:
                     continue
                 overlap = min(posting.end, end) - max(posting.start, start)
@@ -95,21 +126,39 @@ class TemporalKeywordScorer:
                     per_doc.get(posting.doc_id, 0.0) + coverage
                 )
             tfs[term] = per_doc
-        return self._rank(tfs, n_docs, limit)
+            if match_all:
+                docs = set(per_doc)
+                if not docs:
+                    return []
+        return self._rank(tfs, n_docs, limit, require_all=match_all)
 
     # -- scoring --------------------------------------------------------------
 
-    @staticmethod
-    def _terms(query):
+    def _terms(self, query):
+        """Deduplicated query terms, rarest first.
+
+        Duplicates never changed the score (the per-term tf map collapsed
+        them), so dropping them is pure savings; the rarest-first order
+        makes the ``match_all`` intersection shrink fastest.  Both are
+        ranking-neutral — scores sum over terms commutatively."""
         if isinstance(query, str):
-            return tokenize(query)
-        return [t for term in query for t in tokenize(term)]
+            tokens = tokenize(query)
+        else:
+            tokens = [t for term in query for t in tokenize(term)]
+        unique = list(dict.fromkeys(tokens))
+        stats = getattr(self.fti, "term_stats", None)
+        if stats is None:
+            return unique
+        return sorted(unique, key=lambda term: stats(term)[0])
 
     @staticmethod
-    def _rank(tfs, n_docs, limit):
+    def _rank(tfs, n_docs, limit, require_all=False):
         matched = set()
         for per_doc in tfs.values():
             matched.update(per_doc)
+        if require_all:
+            for per_doc in tfs.values():
+                matched &= set(per_doc)
         if not matched:
             return []
         corpus = n_docs if n_docs is not None else len(matched)
@@ -121,6 +170,8 @@ class TemporalKeywordScorer:
                 continue
             idf = math.log((1 + corpus) / (1 + df)) + 1.0
             for doc_id, tf in per_doc.items():
+                if doc_id not in scores:
+                    continue
                 scores[doc_id] += math.log1p(tf) * idf
                 hits[doc_id] += 1
         ranked = sorted(

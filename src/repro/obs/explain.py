@@ -72,6 +72,31 @@ class ExplainAnalyzeReport:
         """Inclusive counter deltas of the whole query."""
         return self.root.total_metrics()
 
+    def row_accounting(self):
+        """Estimated vs. actual rows per estimated operator.
+
+        One dict per span that carried a planner estimate
+        (``est_rows``) — the regression hook for keeping the cost model
+        honest: estimates are upper bounds, so ``rows <= est_rows`` for
+        every completed scan."""
+        out = []
+
+        def visit(span):
+            est = span.attrs.get("est_rows")
+            if est is not None:
+                out.append({
+                    "operator": span.name,
+                    "source": span.attrs.get("source"),
+                    "est_rows": est,
+                    "rows": span.rows,
+                    "complete": span.complete,
+                })
+            for child in span.children:
+                visit(child)
+
+        visit(self.root)
+        return out
+
     # -- rendering ----------------------------------------------------------------
 
     def render(self):
@@ -100,7 +125,11 @@ class ExplainAnalyzeReport:
             label += f" [{detail}]"
         parts = [label]
         if span.rows is not None:
-            parts.append(f"rows={span.rows}")
+            est = span.attrs.get("est_rows")
+            parts.append(
+                f"rows={span.rows} (est={est})" if est is not None
+                else f"rows={span.rows}"
+            )
         parts.append(f"self={span.wall_ms:.3f}ms")
         if span.children:
             parts.append(f"total={span.total_wall_ms():.3f}ms")

@@ -29,19 +29,26 @@ from ..obs import NULL_TRACER
 
 
 class DocHistory:
-    """All versions of one document valid in ``[start, end)``."""
+    """All versions of one document valid in ``[start, end)``.
 
-    def __init__(self, store, document, start, end, tracer=None):
+    ``newest_first=True`` (the default) is the paper's backward output
+    order; ``newest_first=False`` sweeps forward instead — same cost (one
+    anchor plus one delta per further version), oldest version first.  The
+    planner's streaming navigational scan uses the forward sweep."""
+
+    def __init__(self, store, document, start, end, tracer=None,
+                 newest_first=True):
         """``document`` is a name or doc_id."""
         self.store = store
         self.record = store.record(document)
         self.start = start
         self.end = end
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.newest_first = newest_first
 
     def run(self):
-        """List of ``(TEID, tree)`` — TEIDs are document roots — newest
-        first (the paper's backward output order)."""
+        """List of ``(TEID, tree)`` — TEIDs are document roots — in the
+        configured sweep order (newest first by default)."""
         return list(self)
 
     def teids(self):
@@ -55,7 +62,7 @@ class DocHistory:
             yield self._result(entry, tree), tree.copy()
 
     def _iter_raw(self):
-        """Yield ``(entry, tree, xids)`` newest first.
+        """Yield ``(entry, tree, xids)`` in the configured sweep order.
 
         ``tree`` is the *live* working tree, rewound in place between
         yields, and ``xids`` its maintained ``xid -> node`` map — callers
@@ -67,13 +74,16 @@ class DocHistory:
             return
         repository = self.store.repository
         sweep = repository.reconstruct_range(
-            record, entries[0].number, entries[-1].number, newest_first=True
+            record, entries[0].number, entries[-1].number,
+            newest_first=self.newest_first,
         )
         sweep = self.tracer.traced_iter("DocHistory", sweep,
                                         document=record.name)
         # versions_in returns contiguous entries oldest-first; the sweep
-        # yields the same numbers newest-first, so they zip exactly.
-        for entry, (number, tree, xids) in zip(reversed(entries), sweep):
+        # yields the same numbers in its configured order, so they zip
+        # exactly once the entries are aligned with it.
+        ordered = reversed(entries) if self.newest_first else entries
+        for entry, (number, tree, xids) in zip(ordered, sweep):
             assert entry.number == number
             yield entry, tree, xids
 

@@ -65,25 +65,47 @@ class TPatternScan:
 
 
 class TPatternScanAll:
-    """Pattern scan over the whole history; a temporal multiway join."""
+    """Pattern scan over the whole history; a temporal multiway join.
+
+    ``window`` (an optional ``(start, end)`` pair, from the planner's
+    time-range pushdown) bounds the posting retrieval itself: lists come
+    from ``FTI_lookup_W`` instead of ``FTI_lookup_H``, so postings outside
+    the window are never scanned.  This is lossless for windowed
+    consumers — a match interval is the intersection of its postings'
+    intervals, so a match overlapping the window only ever combines
+    postings that each overlap the window themselves.  Unwindowed
+    consumers (``teids()`` over full history) must leave it ``None``.
+    """
 
     def __init__(self, fti, pattern, docs=None, store=None, stats=None,
-                 tracer=None):
+                 tracer=None, window=None):
         self.fti = fti
         self.pattern = pattern
         self.docs = set(docs) if docs is not None else None
         self.store = store
         self.join_stats = stats if stats is not None else JoinStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.window = window if window is None else tuple(window)
 
     def run(self):
         """Iterator of matches with their maximal validity intervals."""
+        windowed = (
+            self.window is not None and hasattr(self.fti, "lookup_w")
+        )
         with self.tracer.span("FTILookup",
-                              terms=len(self.pattern.nodes())):
-            posting_lists = [
-                self.fti.lookup_h(node.term, docs=self.docs)
-                for node in self.pattern.nodes()
-            ]
+                              terms=len(self.pattern.nodes()),
+                              windowed=windowed):
+            if windowed:
+                start, end = self.window
+                posting_lists = [
+                    self.fti.lookup_w(node.term, start, end, docs=self.docs)
+                    for node in self.pattern.nodes()
+                ]
+            else:
+                posting_lists = [
+                    self.fti.lookup_h(node.term, docs=self.docs)
+                    for node in self.pattern.nodes()
+                ]
         return structural_join(self.pattern, posting_lists, docs=self.docs,
                                stats=self.join_stats, tracer=self.tracer)
 

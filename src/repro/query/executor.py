@@ -31,8 +31,9 @@ from ..xmlcore.node import Element, Text
 from ..xmlcore.serializer import serialize
 from .ast import AGGREGATES, FuncCall, Query, is_aggregate_expr
 from .functions import Evaluator
+from .optimizer import Optimizer
 from .parser import parse_query
-from .planner import bind_from_item
+from .planner import bind_planned
 from .rewriter import rewrite
 from .values import (
     BoundElement,
@@ -51,20 +52,30 @@ class QueryOptions:
         Evaluate FROM items through the temporal FTI when possible
         (Section 7.3's algorithms); off = always reconstruct and navigate.
     ``lifetime_strategy``
-        ``"index"`` or ``"traverse"`` for CREATE TIME / DELETE TIME
-        (the two strategies of Section 7.3.6).
+        ``"index"``, ``"traverse"``, or ``"auto"`` for CREATE TIME /
+        DELETE TIME (the two strategies of Section 7.3.6; ``"auto"`` lets
+        the optimizer pick per call from version-count statistics).
     ``similarity_threshold``
         Decision threshold of the ``~`` operator.
     ``use_rewriter``
         Apply the algebraic rewriter (time-range pushdown, constant
         folding) before planning — the Section 8 future-work feature;
         benchmark E11 measures what it saves.
+    ``use_optimizer``
+        Whole-query cost-based planning (ROADMAP item 3): price index vs.
+        navigational scans per FROM item, push every pushable predicate
+        (rarest term first), order WHERE conjuncts and FROM
+        materialization by estimated selectivity, and bound history FTI
+        lookups with the rewriter windows.  Off = the legacy plan shape
+        (first-conjunct pushdown, index whenever eligible).  Results are
+        identical either way; only costs change.
     """
 
     use_pattern_index: bool = True
     lifetime_strategy: str = "traverse"
     similarity_threshold: float = 0.7
     use_rewriter: bool = True
+    use_optimizer: bool = True
 
 
 class ResultSet:
@@ -161,6 +172,9 @@ class QueryEngine:
         #: (surfaced alongside the FTI's ``stats``; diffable per query with
         #: :class:`~repro.bench.CostMeter`).
         self.join_stats = JoinStats()
+        #: The cost-based planner: statistics, plan enumeration, conjunct
+        #: ordering, and the ``"auto"`` lifetime decision all live here.
+        self.optimizer = Optimizer(self)
         #: Every counter source in this engine, under one snapshot/delta
         #: protocol (see :mod:`repro.obs.registry`).
         self.registry = MetricsRegistry()
@@ -199,6 +213,8 @@ class QueryEngine:
             registry.register(self.lifetime.metrics_label,
                               self.lifetime.stats)
         registry.register("join", self.join_stats)
+        registry.register(self.optimizer.metrics_label,
+                          self.optimizer.counters)
 
     # -- tracing --------------------------------------------------------------------
 
@@ -247,6 +263,14 @@ class QueryEngine:
             )
         return int(value)
 
+    def resolve_lifetime_strategy(self, teid=None):
+        """The CREATE TIME / DELETE TIME strategy for one call:
+        ``"auto"`` defers to the optimizer's version-count statistics."""
+        strategy = self.options.lifetime_strategy
+        if strategy != "auto":
+            return strategy
+        return self.optimizer.lifetime_strategy_for(teid)
+
     # -- plan inspection ----------------------------------------------------------
 
     def explain(self, query):
@@ -263,22 +287,37 @@ class QueryEngine:
         windows = {}
         if self.options.use_rewriter:
             query, windows = rewrite(query, now=self.now())
+        where = self.optimizer.order_conjuncts(query.where)
         return [
-            explain_from_item(self, item, query.where,
+            explain_from_item(self, item, where,
                               window=windows.get(item.var))
             for item in query.from_items
         ]
 
     def explain_text(self, query):
-        """Human-readable plan description."""
+        """Human-readable plan description: the chosen plan per FROM item,
+        its estimates, and the priced alternatives the optimizer rejected."""
         lines = []
         for info in self.explain(query):
             lines.append(f"{info['variable']}: {info['source']}")
             lines.append(f"  strategy: {info['strategy']}")
-            for key in ("operator", "pattern", "pushdown", "window",
-                        "documents", "reason"):
+            for key in ("operator", "pattern", "pushdown", "pushdowns",
+                        "window", "documents", "reason"):
                 if key in info:
                     lines.append(f"  {key}: {info[key]}")
+            if "est_rows" in info or "est_cost" in info:
+                est = []
+                if "est_rows" in info:
+                    est.append(f"rows={info['est_rows']}")
+                if "est_cost" in info:
+                    est.append(f"cost={info['est_cost']}")
+                lines.append(f"  estimate: {'  '.join(est)}")
+            for alt in info.get("alternatives", ()):
+                marker = "*" if alt["chosen"] else " "
+                lines.append(
+                    f"  {marker} {alt['strategy']} ({alt['operator']}): "
+                    f"cost={alt['cost']}  rows={alt['rows']}"
+                )
         return "\n".join(lines)
 
     # -- execution ------------------------------------------------------------------
@@ -318,16 +357,19 @@ class QueryEngine:
             with tracer.span("Rewrite"):
                 query, windows = rewrite(query, now=self.now())
         self.active_cache = SnapshotCache(self.store)
-        binding_lists = [
-            bind_from_item(self, item, query.where,
-                           window=windows.get(item.var))
-            for item in query.from_items
-        ]
+        where = self.optimizer.order_conjuncts(query.where)
+        with tracer.span("Plan", optimizer=self.optimizer.enabled):
+            plans = [
+                self.optimizer.plan_from_item(item, where,
+                                              window=windows.get(item.var))
+                for item in query.from_items
+            ]
+        binding_lists = [bind_planned(self, plan) for plan in plans]
         variables = query.variables()
         rows = tracer.traced_iter(
             "Filter",
-            self._filtered_rows(variables, binding_lists, query.where),
-            filtered=query.where is not None,
+            self._filtered_rows(variables, binding_lists, where, plans),
+            filtered=where is not None,
         )
 
         aggregates = [is_aggregate_expr(e) for e in query.select_items]
@@ -359,13 +401,19 @@ class QueryEngine:
             self.tracer = saved
         return ExplainAnalyzeReport(query.label(), result, tracer.roots[0])
 
-    def _filtered_rows(self, variables, binding_lists, where):
+    def _filtered_rows(self, variables, binding_lists, where, plans=None):
         """Lazily enumerate satisfying rows.
 
         The single-variable case (the common shape of the paper's queries)
         feeds bindings straight through without the ``product`` barrier, so
-        a LIMIT stops the underlying index scan mid-join; multi-variable
-        queries must materialize each binding list to form the product.
+        a LIMIT stops the underlying index scan mid-join.  Multi-variable
+        queries form the product; with the optimizer on, the first FROM
+        item still streams (LIMIT early-exit), the remaining lists
+        materialize cheapest-expected first (an empty one short-circuits
+        before costlier scans are drained), and single-variable conjuncts
+        prefilter each list before the product multiplies them.  Row order
+        is identical either way — prefilters only drop rows the WHERE
+        clause would reject.
         """
         if len(binding_lists) == 1:
             variable = variables[0]
@@ -374,10 +422,48 @@ class QueryEngine:
                 if where is None or self._evaluator.predicate(where, row):
                     yield row
             return
-        for combination in product(*binding_lists):
-            row = dict(zip(variables, combination))
-            if where is None or self._evaluator.predicate(where, row):
-                yield row
+        if plans is None or not self.optimizer.enabled:
+            for combination in product(*binding_lists):
+                row = dict(zip(variables, combination))
+                if where is None or self._evaluator.predicate(where, row):
+                    yield row
+            return
+        prefilters = self.optimizer.prefilter_map(variables, where)
+        rest = [None] * len(binding_lists)
+        for index in self.optimizer.materialization_order(plans):
+            rest[index] = self._prefiltered(
+                variables[index], binding_lists[index], prefilters
+            )
+            if not rest[index]:
+                return
+        first_filters = prefilters.get(variables[0], ())
+        rest_lists = rest[1:]
+        rest_vars = variables[1:]
+        for binding in binding_lists[0]:
+            head = {variables[0]: binding}
+            if first_filters and not all(
+                self._evaluator.predicate(c, head) for c in first_filters
+            ):
+                continue
+            for combination in product(*rest_lists):
+                row = dict(head)
+                row.update(zip(rest_vars, combination))
+                if where is None or self._evaluator.predicate(where, row):
+                    yield row
+
+    def _prefiltered(self, variable, bindings, prefilters):
+        """Materialize one binding list through its single-variable
+        conjuncts (all total predicates, so evaluating them early cannot
+        surface an error a short-circuiting WHERE would have hidden)."""
+        conjuncts = prefilters.get(variable, ())
+        if not conjuncts:
+            return list(bindings)
+        out = []
+        for binding in bindings:
+            row = {variable: binding}
+            if all(self._evaluator.predicate(c, row) for c in conjuncts):
+                out.append(binding)
+        return out
 
     def _project(self, query, rows, limit=None):
         columns = [item.label() for item in query.select_items]

@@ -136,7 +136,7 @@ class Evaluator:
         operator = CreTime(
             self.engine.store,
             bound.teid,
-            strategy=self.engine.options.lifetime_strategy,
+            strategy=self.engine.resolve_lifetime_strategy(bound.teid),
             lifetime_index=self.engine.lifetime,
             tracer=self.engine.tracer,
         )
@@ -147,7 +147,7 @@ class Evaluator:
         operator = DelTime(
             self.engine.store,
             bound.teid,
-            strategy=self.engine.options.lifetime_strategy,
+            strategy=self.engine.resolve_lifetime_strategy(bound.teid),
             lifetime_index=self.engine.lifetime,
             tracer=self.engine.tracer,
         )

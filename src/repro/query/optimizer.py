@@ -1,0 +1,547 @@
+"""Cost-based whole-query optimizer (ROADMAP item 3).
+
+Before this module, every operator optimized alone: the structural join
+ordered its posting lists, reconstruction priced its anchors, but nobody
+compared *plans*.  :class:`Optimizer` is the stage that does: for every
+FROM item it enumerates the executable alternatives (pattern-index scan
+vs. navigational scan), prices each with the statistics collected by
+:class:`~repro.index.statistics.CorpusStatistics`, and picks the cheapest;
+around the per-item choice it orders WHERE conjuncts and FROM
+materialization by estimated selectivity, selects and ranks pushdown
+predicates (rarest term first), bounds history lookups with the rewriter's
+time windows, and resolves the ``"auto"`` lifetime strategy per call.
+
+The cost model is deliberately small — five weights over counters the
+engine already measures (see ``docs/PLANNER.md`` for the calibration
+story):
+
+=====================  ======  ==============================================
+weight                  value  unit of work
+=====================  ======  ==============================================
+``COST_POSTING_SCAN``     1.0  one posting examined in an FTI list
+``COST_JOIN_PROBE``       1.0  one candidate tested by the structural join
+``COST_VERSION_EXPAND``   2.0  one binding expanded from a match interval
+``COST_DELTA_READ``      40.0  one delta applied during reconstruction
+``COST_ANCHOR_READ``     60.0  one snapshot/current anchor materialized
+``COST_ELEMENT_WALK``    0.25  one element visited by a navigational walk
+=====================  ======  ==============================================
+
+Posting-scan estimates are *exact* (list lengths and bisect prefixes);
+row estimates are upper bounds (the smallest participating posting list).
+Every transformation is result-preserving: pushdowns are pre-filters the
+WHERE clause re-verifies, windowed lookups are lossless for window-clipped
+expansion, conjunct reordering only permutes a commutative AND, and
+prefilters evaluate exactly the conjuncts the full WHERE would.  Turning
+the optimizer off (``QueryOptions(use_optimizer=False)``) restores the
+legacy plan shape; the randomized equivalence suite asserts both modes
+return byte-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import QueryPlanError
+from ..xmlcore.path import Path
+from .ast import EVERY, BinOp, FuncCall, Literal, VarPath
+from .rewriter import TimeWindow
+
+# -- cost model weights (abstract units; relative magnitudes matter) -----------
+
+COST_POSTING_SCAN = 1.0
+COST_JOIN_PROBE = 1.0
+COST_VERSION_EXPAND = 2.0
+COST_DELTA_READ = 40.0
+COST_ANCHOR_READ = 60.0
+COST_ELEMENT_WALK = 0.25
+
+#: Version count above which the O(1) lifetime index beats walking the
+#: delta chain for CREATE TIME / DELETE TIME (strategy ``"auto"``).
+AUTO_LIFETIME_VERSIONS = 2
+
+
+@dataclass
+class PlanAlternative:
+    """One executable plan for a FROM item, with its estimated price."""
+
+    strategy: str       # "index" | "navigate"
+    operator: str       # TPatternScan | TPatternScanAll | NavScan
+    cost: float
+    est_rows: int
+    chosen: bool = False
+
+    def as_dict(self):
+        return {
+            "strategy": self.strategy,
+            "operator": self.operator,
+            "cost": round(self.cost, 1),
+            "rows": self.est_rows,
+            "chosen": self.chosen,
+        }
+
+
+@dataclass
+class FromItemPlan:
+    """The optimizer's decision for one FROM item.
+
+    Carries everything both execution (``bind_planned``) and EXPLAIN
+    (``explain_from_item``) need — one object, so the two can never drift.
+    """
+
+    item: object
+    doc_ids: list
+    strategy: str            # "index" | "navigate" | "empty"
+    operator: str | None = None
+    pattern: object = None   # compiled Pattern for index plans
+    pushdowns: list = field(default_factory=list)  # [(steps, value), ...]
+    #: Cost flip: navigational scan chosen over an eligible index scan.
+    #: The bindings are then sorted into the index path's canonical
+    #: ``(doc_id, timestamp, xid)`` order, so flipping never reorders rows.
+    sorted_nav: bool = False
+    window: TimeWindow | None = None
+    est_rows: int | None = None
+    cost: float | None = None
+    alternatives: list = field(default_factory=list)
+    reason: str | None = None
+
+    def describe(self):
+        """The EXPLAIN dict fragment for this plan."""
+        info = {"strategy": self.strategy}
+        if self.strategy == "empty":
+            info["reason"] = self.reason or "rewriter window is empty"
+            return info
+        info["documents"] = len(self.doc_ids)
+        if self.strategy == "index":
+            info["operator"] = self.operator
+            info["pattern"] = [n.term for n in self.pattern.nodes()]
+            if self.pushdowns:
+                info["pushdown"] = str(self.pushdowns[0][1])
+                if len(self.pushdowns) > 1:
+                    info["pushdowns"] = [
+                        str(value) for _steps, value in self.pushdowns
+                    ]
+        if self.reason is not None:
+            info["reason"] = self.reason
+        if self.est_rows is not None:
+            info["est_rows"] = self.est_rows
+        if self.cost is not None:
+            info["est_cost"] = round(self.cost, 1)
+        if self.alternatives:
+            info["alternatives"] = [a.as_dict() for a in self.alternatives]
+        if self.window is not None and self.item.time_spec is EVERY:
+            info["window"] = str(self.window)
+        return info
+
+
+@dataclass
+class PlannerCounters:
+    """What the optimizer did, under the registry's snapshot protocol."""
+
+    plans: int = 0
+    index_chosen: int = 0
+    nav_chosen: int = 0
+    cost_flips: int = 0          # cost model overrode the legacy default
+    pushdowns_added: int = 0     # beyond the legacy first-conjunct pushdown
+    conjuncts_reordered: int = 0
+    from_items_reordered: int = 0
+    auto_lifetime_index: int = 0
+    auto_lifetime_traverse: int = 0
+
+    def snapshot(self):
+        return {
+            "plans": self.plans,
+            "index_chosen": self.index_chosen,
+            "nav_chosen": self.nav_chosen,
+            "cost_flips": self.cost_flips,
+            "pushdowns_added": self.pushdowns_added,
+            "conjuncts_reordered": self.conjuncts_reordered,
+            "from_items_reordered": self.from_items_reordered,
+            "auto_lifetime_index": self.auto_lifetime_index,
+            "auto_lifetime_traverse": self.auto_lifetime_traverse,
+        }
+
+
+class Optimizer:
+    """Plans queries for one :class:`~repro.query.executor.QueryEngine`."""
+
+    metrics_label = "planner"
+
+    def __init__(self, engine):
+        from ..index.statistics import CorpusStatistics
+
+        self.engine = engine
+        self.statistics = CorpusStatistics(engine.store, engine.fti)
+        self.counters = PlannerCounters()
+
+    @property
+    def enabled(self):
+        return self.engine.options.use_optimizer
+
+    # -- per-FROM-item planning ------------------------------------------------
+
+    def plan_from_item(self, item, where, window=None):
+        """Enumerate and price the alternatives for one FROM item.
+
+        Raises :class:`~repro.errors.NoSuchDocumentError` for unknown
+        non-glob URLs, exactly like the legacy binder did.
+        """
+        from .planner import (
+            _build_pattern,
+            _pushable_values,
+            _resolve_documents,
+        )
+
+        engine = self.engine
+        self.counters.plans += 1
+        if window is not None and window.is_empty:
+            return FromItemPlan(item, [], "empty", window=window,
+                                reason="rewriter window is empty")
+        doc_ids = _resolve_documents(
+            engine.store, item.url, as_of=engine.pinned_now
+        )
+        plan = FromItemPlan(item, doc_ids, "navigate", operator="NavScan",
+                            window=window)
+
+        eligible = (
+            engine.options.use_pattern_index
+            and engine.fti is not None
+            and item.path
+            and "*" not in item.path
+        )
+        pattern = None
+        if eligible:
+            candidates = _pushable_values(item.var, where)
+            pushdowns = self._select_pushdowns(candidates)
+            pattern, pushdowns, error = self._compile_pattern(
+                item, pushdowns, candidates, _build_pattern
+            )
+            if pattern is None:
+                eligible = False
+                plan.reason = error
+            else:
+                plan.pattern = pattern
+                plan.pushdowns = pushdowns
+        else:
+            plan.reason = self._ineligible_reason(item)
+
+        is_every = item.time_spec is EVERY
+        nav_alt = self._price_nav(item, doc_ids, window, is_every)
+        plan.alternatives.append(nav_alt)
+        if eligible:
+            index_alt = self._price_index(item, pattern, window, is_every)
+            plan.alternatives.insert(0, index_alt)
+            use_index = True
+            # Flips are restricted to EVERY items: there both strategies
+            # share the canonical (doc_id, timestamp, xid) output order, so
+            # flipping cannot reorder rows.  Snapshot scans keep the index
+            # whenever eligible — their streamed first-emission order has
+            # no cheap navigational equivalent.
+            if (
+                self.enabled and is_every
+                and nav_alt.cost < index_alt.cost
+            ):
+                use_index = False
+                plan.sorted_nav = True
+                self.counters.cost_flips += 1
+                plan.reason = (
+                    f"cost-based: navigational scan cheaper "
+                    f"(est {nav_alt.cost:.0f} vs {index_alt.cost:.0f})"
+                )
+            chosen = index_alt if use_index else nav_alt
+        else:
+            chosen = nav_alt
+        chosen.chosen = True
+        plan.strategy = chosen.strategy
+        plan.operator = chosen.operator
+        plan.est_rows = chosen.est_rows
+        plan.cost = chosen.cost
+        if plan.strategy == "index":
+            self.counters.index_chosen += 1
+        else:
+            self.counters.nav_chosen += 1
+        return plan
+
+    def _ineligible_reason(self, item):
+        if not item.path:
+            return "no path (binds the document root)"
+        if "*" in item.path:
+            return "wildcard step is not indexable"
+        if self.engine.fti is None:
+            return "no full-text index attached"
+        return "pattern index disabled"
+
+    def _select_pushdowns(self, candidates):
+        """Which ``R/path = literal`` conjuncts to push into the pattern.
+
+        Legacy behaviour (optimizer off) pushes only the first; the
+        optimizer pushes all of them, rarest term first, so the join's
+        most selective list leads."""
+        if not candidates:
+            return []
+        if not self.enabled:
+            return candidates[:1]
+
+        def frequency(candidate):
+            rarest = self.statistics.rarest_token(candidate[1])
+            return rarest[1] if rarest is not None else float("inf")
+
+        ranked = sorted(candidates, key=frequency)
+        self.counters.pushdowns_added += len(ranked) - 1
+        return ranked
+
+    def _compile_pattern(self, item, pushdowns, candidates, build):
+        """Build the pattern tree; on failure fall back to the legacy
+        single-pushdown shape before declaring the item unindexable."""
+        steps = Path(item.path).steps
+        try:
+            return build(steps, pushdowns), pushdowns, None
+        except QueryPlanError as exc:
+            if len(pushdowns) > 1:
+                try:
+                    legacy = candidates[:1]
+                    return build(steps, legacy), legacy, None
+                except QueryPlanError as retry_exc:
+                    exc = retry_exc
+            return None, [], str(exc)
+
+    # -- alternative pricing -----------------------------------------------------
+
+    def _price_index(self, item, pattern, window, is_every):
+        engine = self.engine
+        stats = self.statistics
+        bounds = self._lookup_bounds(window) if is_every else None
+        ts = None
+        if not is_every:
+            try:
+                ts = engine.resolve_time(item.time_spec)
+            except QueryPlanError:
+                ts = None
+        counts = []
+        for node in pattern.nodes():
+            if is_every:
+                if bounds is not None:
+                    counts.append(
+                        stats.term_scan_window(node.term, *bounds)
+                    )
+                else:
+                    counts.append(stats.term_counts(node.term)[0])
+            elif ts is not None:
+                counts.append(stats.term_scan_at(node.term, ts))
+            else:
+                counts.append(stats.term_counts(node.term)[0])
+        scanned = sum(counts)
+        est_rows = min(counts) if counts else 0
+        cost = scanned * (COST_POSTING_SCAN + COST_JOIN_PROBE)
+        if is_every:
+            cost += est_rows * COST_VERSION_EXPAND
+        operator = "TPatternScanAll" if is_every else "TPatternScan"
+        return PlanAlternative("index", operator, cost, est_rows)
+
+    def _price_nav(self, item, doc_ids, window, is_every):
+        engine = self.engine
+        stats = self.statistics
+        path = Path(item.path) if item.path else None
+        cost = 0.0
+        rows = 0
+        if is_every:
+            start = engine.horizon_start()
+            end = engine.horizon_end()
+            if window is not None:
+                start = max(start, window.start)
+                end = min(end, window.end)
+            for doc_id in doc_ids:
+                versions = stats.versions_between(doc_id, start, end)
+                if not versions:
+                    continue
+                elements = stats.element_count(doc_id)
+                cost += (
+                    COST_ANCHOR_READ
+                    + (versions - 1) * COST_DELTA_READ
+                    + versions * elements * COST_ELEMENT_WALK
+                )
+                rows += versions * stats.path_count(doc_id, path)
+        else:
+            try:
+                ts = engine.resolve_time(item.time_spec)
+            except QueryPlanError:
+                ts = engine.now()
+            for doc_id in doc_ids:
+                if not stats.versions_between(doc_id, ts, ts + 1):
+                    continue
+                elements = stats.element_count(doc_id)
+                cost += (
+                    COST_ANCHOR_READ
+                    + stats.delta_chain_depth(doc_id, ts) * COST_DELTA_READ
+                    + elements * COST_ELEMENT_WALK
+                )
+                rows += stats.path_count(doc_id, path)
+        return PlanAlternative("navigate", "NavScan", cost, rows)
+
+    def _lookup_bounds(self, window):
+        """``(start, end)`` bounds for history FTI lookups, or ``None`` when
+        unbounded — the rewriter window intersected with the engine's scan
+        horizon (a pinned session bounds history lookups even without an
+        explicit TIME predicate)."""
+        engine = self.engine
+        start = engine.horizon_start()
+        end = engine.horizon_end()
+        if window is not None:
+            start = max(start, window.start)
+            end = min(end, window.end)
+        unbounded = TimeWindow(start, end).is_unbounded
+        if unbounded and engine.pinned_now is None:
+            return None
+        return (start, end)
+
+    def scan_window(self, plan):
+        """Lookup bounds for an EVERY index scan of ``plan`` (``None`` when
+        the optimizer is off — the legacy plan reads full history lists)."""
+        if not self.enabled:
+            return None
+        return self._lookup_bounds(plan.window)
+
+    # -- WHERE conjunct ordering --------------------------------------------------
+
+    def order_conjuncts(self, where):
+        """Reorder top-level AND conjuncts cheapest-and-most-selective
+        first.  AND is commutative and the evaluator short-circuits, so
+        this only changes which conjunct rejects a row first."""
+        from .planner import _conjuncts
+
+        if not self.enabled or where is None:
+            return where
+        conjuncts = list(_conjuncts(where))
+        if len(conjuncts) < 2:
+            return where
+        ranked = sorted(conjuncts, key=self._conjunct_rank)
+        if ranked != conjuncts:
+            self.counters.conjuncts_reordered += 1
+        ordered = ranked[0]
+        for conjunct in ranked[1:]:
+            ordered = BinOp("AND", ordered, conjunct)
+        return ordered
+
+    def _conjunct_rank(self, conjunct):
+        """(expense class, estimated matches): 0 = timestamp compare,
+        1 = value predicate (ranked by rarest-term frequency), 2 = other
+        expressions, 3 = anything calling an expensive function."""
+        if _time_comparison_var(conjunct) is not None:
+            return (0, 0.0)
+        value_pred = _value_predicate(conjunct)
+        if value_pred is not None:
+            _var, op, literal = value_pred
+            if op == "=":
+                rarest = self.statistics.rarest_token(literal)
+                if rarest is not None:
+                    return (1, float(rarest[1]))
+            return (1, float("inf"))
+        if any(
+            isinstance(node, FuncCall) and node.name != "TIME"
+            for node in conjunct.walk()
+        ):
+            return (3, 0.0)
+        return (2, 0.0)
+
+    def prefilter_map(self, variables, where):
+        """Per-variable conjuncts safe to evaluate on a single binding
+        before the FROM product is formed.
+
+        Only total, cheap predicate classes participate (timestamp
+        comparisons and value predicates): they cannot raise for a binding
+        the full WHERE would have skipped, so pre-filtering is exactly the
+        evaluation the product would do anyway — just earlier, once per
+        binding instead of once per combination."""
+        from .planner import _conjuncts
+
+        out = {}
+        if not self.enabled or where is None or len(variables) < 2:
+            return out
+        for conjunct in _conjuncts(where):
+            rank = self._conjunct_rank(conjunct)[0]
+            if rank > 1:
+                continue
+            vars_used = {
+                node.var for node in conjunct.walk()
+                if isinstance(node, VarPath)
+            }
+            if len(vars_used) == 1:
+                out.setdefault(next(iter(vars_used)), []).append(conjunct)
+        return out
+
+    def materialization_order(self, plans):
+        """Indices of the non-streamed FROM items (all but the first),
+        cheapest estimated row count first — an empty list short-circuits
+        the whole product before the expensive lists materialize."""
+        order = sorted(
+            range(1, len(plans)),
+            key=lambda i: (
+                plans[i].est_rows if plans[i].est_rows is not None else 1 << 30,
+                i,
+            ),
+        )
+        if order != list(range(1, len(plans))):
+            self.counters.from_items_reordered += 1
+        return order
+
+    # -- lifetime strategy --------------------------------------------------------
+
+    def lifetime_strategy_for(self, teid=None):
+        """Resolve ``lifetime_strategy="auto"`` for one CREATE TIME /
+        DELETE TIME call: the O(1) lifetime index when the document's
+        history is deep enough that walking the delta chain costs more,
+        traversal otherwise (and always, when no index is attached)."""
+        if self.engine.lifetime is None:
+            self.counters.auto_lifetime_traverse += 1
+            return "traverse"
+        if teid is None:
+            self.counters.auto_lifetime_index += 1
+            return "index"
+        versions = self.statistics.version_count(teid.doc_id)
+        if versions > AUTO_LIFETIME_VERSIONS:
+            self.counters.auto_lifetime_index += 1
+            return "index"
+        self.counters.auto_lifetime_traverse += 1
+        return "traverse"
+
+
+# -- conjunct shape helpers ------------------------------------------------------
+
+
+def _time_comparison_var(conjunct):
+    """``TIME(R) cmp literal`` (either side) → the variable, else None."""
+    if not isinstance(conjunct, BinOp) or conjunct.op not in (
+        "<", "<=", ">", ">=", "=", "!=",
+    ):
+        return None
+    for this, other in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        if (
+            isinstance(this, FuncCall)
+            and this.name == "TIME"
+            and len(this.args) == 1
+            and isinstance(this.args[0], VarPath)
+            and not isinstance(other, (BinOp, FuncCall))
+        ):
+            return this.args[0].var
+    return None
+
+
+def _value_predicate(conjunct):
+    """``R/path cmp literal`` (either side) → (var, op, literal value).
+
+    Only plain comparisons qualify: ``~`` (similarity) is excluded so an
+    expensive DIFF-backed predicate never classifies as a cheap prefilter.
+    """
+    if not isinstance(conjunct, BinOp) or conjunct.op not in (
+        "=", "!=", "<", "<=", ">", ">=",
+    ):
+        return None
+    for this, other in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        if isinstance(this, VarPath) and isinstance(other, Literal):
+            return (this.var, conjunct.op, other.value)
+    return None

@@ -1,9 +1,13 @@
 """FROM-clause planning: index scans vs. navigational scans.
 
-For every FROM item the planner picks one of two strategies:
+For every FROM item the engine's :class:`~repro.query.optimizer.Optimizer`
+builds one :class:`~repro.query.optimizer.FromItemPlan` — the single
+source of truth consumed by both execution (:func:`bind_planned`) and
+EXPLAIN (:func:`explain_from_item`), so the reported plan can never drift
+from the executed one.  Two strategies compete:
 
 **Index scan** (the paper's intended execution): compile the item's path —
-plus any pushable value predicate from the WHERE clause — into a pattern
+plus the pushable value predicates from the WHERE clause — into a pattern
 tree and run ``TPatternScan`` (snapshot) or ``TPatternScanAll`` (EVERY)
 over the temporal FTI.  Only the matching rows' documents are ever
 reconstructed, and aggregate-only queries like Q2 may reconstruct nothing
@@ -12,8 +16,9 @@ only deltas ... does not create performance problems").
 
 **Navigational scan** (fallback and baseline): reconstruct the relevant
 document version(s) and walk the path.  Used when there is no FTI, the
-path is empty or contains wildcards, or the engine is configured with
-``use_pattern_index=False`` (benchmark E8's stratum-style execution).
+path is empty or contains wildcards, the engine is configured with
+``use_pattern_index=False`` (benchmark E8's stratum-style execution) — or
+when the cost model prices reconstruction below the index's posting scans.
 
 A pushed-down predicate is only a pre-filter: the WHERE clause is always
 re-evaluated, so pushing a conjunct can never change results, only costs.
@@ -36,41 +41,43 @@ from .values import BoundElement
 
 
 def bind_from_item(engine, item, where, window=None):
-    """Produce the list of :class:`BoundElement` bindings for a FROM item.
+    """Produce the :class:`BoundElement` bindings for a FROM item.
 
     ``window`` is an optional rewriter-derived
     :class:`~repro.query.rewriter.TimeWindow` restricting which versions an
     EVERY binding may produce (snapshot bindings ignore it — their single
-    version is re-checked by the WHERE clause anyway).
+    version is re-checked by the WHERE clause anyway).  Equivalent to
+    planning with the engine's optimizer and handing the plan to
+    :func:`bind_planned`.
     """
-    if window is not None and window.is_empty:
+    plan = engine.optimizer.plan_from_item(item, where, window=window)
+    return bind_planned(engine, plan)
+
+
+def bind_planned(engine, plan):
+    """Execute one FROM-item plan: a traced, lazy binding iterator."""
+    if plan.strategy == "empty" or not plan.doc_ids:
         return []
-    doc_ids = _resolve_documents(
-        engine.store, item.url, as_of=engine.pinned_now
-    )
-    if not doc_ids:
-        return []
-    use_index = (
-        engine.options.use_pattern_index
-        and engine.fti is not None
-        and item.path
-        and "*" not in item.path
-    )
-    if use_index:
-        try:
-            bindings = _index_bindings(engine, item, where, doc_ids, window)
-        except QueryPlanError:
-            pass  # fall back to navigation (e.g. unindexable term)
-        else:
-            operator = ("TPatternScanAll" if item.time_spec is EVERY
-                        else "TPatternScan")
-            return engine.tracer.traced_iter(
-                operator, bindings, variable=item.var, source=item.label()
+    item = plan.item
+    attrs = {"variable": item.var, "source": item.label()}
+    if plan.est_rows is not None:
+        attrs["est_rows"] = plan.est_rows
+    if plan.strategy == "index":
+        return engine.tracer.traced_iter(
+            plan.operator, _index_bindings(engine, plan), **attrs
+        )
+    source = _deferred(_nav_bindings, engine, item, plan.doc_ids, plan.window)
+    if plan.sorted_nav:
+        # Cost flip over an eligible index scan: emit in the index path's
+        # canonical order so the flip never reorders rows.
+        unsorted = source
+        source = _deferred(
+            lambda: sorted(
+                unsorted,
+                key=lambda b: (b.teid.doc_id, b.teid.timestamp, b.teid.xid),
             )
-    return engine.tracer.traced_iter(
-        "NavScan", _deferred(_nav_bindings, engine, item, doc_ids, window),
-        variable=item.var, source=item.label(),
-    )
+        )
+    return engine.tracer.traced_iter("NavScan", source, **attrs)
 
 
 def _deferred(fn, *args):
@@ -83,59 +90,20 @@ def explain_from_item(engine, item, where, window=None):
     """Describe (without executing) the plan chosen for one FROM item.
 
     Returns a dict with ``strategy`` (``"index"`` / ``"navigate"`` /
-    ``"empty"`` / ``"error"``), the document count, and — for index plans —
-    the pattern terms and any pushed-down predicate; for EVERY items the
-    rewriter window, when one applies.
+    ``"empty"`` / ``"error"``), the document count, estimated cost/rows,
+    the priced plan ``alternatives`` — and, for index plans, the pattern
+    terms and any pushed-down predicates; for EVERY items the rewriter
+    window, when one applies.  The same :class:`FromItemPlan` that
+    :func:`bind_planned` would execute backs this description.
     """
     info = {"variable": item.var, "source": item.label()}
-    if window is not None and window.is_empty:
-        info["strategy"] = "empty"
-        info["reason"] = "rewriter window is empty"
-        return info
     try:
-        doc_ids = _resolve_documents(
-            engine.store, item.url, as_of=engine.pinned_now
-        )
+        plan = engine.optimizer.plan_from_item(item, where, window=window)
     except NoSuchDocumentError:
         info["strategy"] = "error"
         info["reason"] = f"unknown document {item.url!r}"
         return info
-    info["documents"] = len(doc_ids)
-    use_index = (
-        engine.options.use_pattern_index
-        and engine.fti is not None
-        and item.path
-        and "*" not in item.path
-    )
-    if use_index:
-        pushdown = _pushable_value(item.var, where)
-        try:
-            pattern = _build_pattern(Path(item.path).steps, pushdown)
-        except QueryPlanError as exc:
-            info["strategy"] = "navigate"
-            info["reason"] = str(exc)
-        else:
-            info["strategy"] = "index"
-            info["operator"] = (
-                "TPatternScanAll"
-                if item.time_spec is EVERY
-                else "TPatternScan"
-            )
-            info["pattern"] = [n.term for n in pattern.nodes()]
-            if pushdown is not None:
-                info["pushdown"] = str(pushdown[1])
-    else:
-        info["strategy"] = "navigate"
-        if not item.path:
-            info["reason"] = "no path (binds the document root)"
-        elif "*" in item.path:
-            info["reason"] = "wildcard step is not indexable"
-        elif engine.fti is None:
-            info["reason"] = "no full-text index attached"
-        else:
-            info["reason"] = "pattern index disabled"
-    if window is not None and item.time_spec is EVERY:
-        info["window"] = str(window)
+    info.update(plan.describe())
     return info
 
 
@@ -194,38 +162,50 @@ def _resolve_as_of(store, url, as_of, is_glob):
 # -- index strategy ----------------------------------------------------------------
 
 
-def _index_bindings(engine, item, where, doc_ids, window=None):
-    """Bindings through the pattern index.
+def _index_bindings(engine, plan):
+    """Bindings through the pattern index of an already-compiled plan.
 
-    Plan construction (pattern build, time resolution) stays eager so
-    :class:`QueryPlanError` still triggers the navigational fallback; the
-    returned value is a lazy iterator over the streaming scan, so an
+    The returned value is a lazy iterator over the streaming scan, so an
     early-exiting consumer (LIMIT) stops the join mid-flight.  The EVERY
     path keeps its sorted, version-deduplicated output contract and
     therefore drains the join before yielding.
     """
-    pushdown = _pushable_value(item.var, where)
+    item = plan.item
     steps = Path(item.path).steps
-    pattern = _build_pattern(steps, pushdown)
+    pattern = plan.pattern
     projected = pattern.projected_index()
 
     if item.time_spec is EVERY:
-        scan = TPatternScanAll(engine.fti, pattern, docs=doc_ids,
+        scan = TPatternScanAll(engine.fti, pattern, docs=plan.doc_ids,
                                store=engine.store, stats=engine.join_stats,
-                               tracer=engine.tracer)
+                               tracer=engine.tracer,
+                               window=engine.optimizer.scan_window(plan))
         return _expand_interval_matches(
-            engine, scan, projected, steps, window
+            engine, scan, projected, steps, plan.window
         )
 
     ts = engine.resolve_time(item.time_spec)
-    scan = TPatternScan(engine.fti, pattern, ts, docs=doc_ids,
+    scan = TPatternScan(engine.fti, pattern, ts, docs=plan.doc_ids,
                         store=engine.store, stats=engine.join_stats,
                         tracer=engine.tracer)
     return _snapshot_bindings(engine, scan, projected, steps, ts)
 
 
 def _snapshot_bindings(engine, scan, projected, steps, ts):
-    """One binding per anchored snapshot match, streamed off the join."""
+    """One binding per anchored snapshot match, streamed off the join.
+
+    Bindings are deduplicated by TEID and yielded in first-emission order.
+    That order is *canonical* — independent of which predicates the
+    optimizer pushed into the pattern — because the join always binds the
+    FROM chain in chain order (parents before children), so pushdown
+    branches below the projected node can only filter the projected
+    sequence, never reorder it; and at a snapshot instant every candidate
+    interval contains the instant, so whether a branch accepts a projected
+    element depends only on the element itself, not on which enumeration
+    step reached it.  Plans pushing different predicate subsets therefore
+    produce byte-identical output, while a LIMIT still stops the join
+    mid-flight."""
+    seen = set()
     for match in scan.run():
         posting = match.postings[projected]
         if not _anchored(posting.path, steps):
@@ -235,6 +215,9 @@ def _snapshot_bindings(engine, scan, projected, steps, ts):
         if entry is None:
             continue
         teid = TEID(match.doc_id, posting.xid, entry.timestamp)
+        if teid in seen:
+            continue
+        seen.add(teid)
         interval = Interval(entry.timestamp, dindex.end_of(entry))
         yield BoundElement(engine.store, teid, interval,
                            cache=engine.active_cache)
@@ -281,8 +264,13 @@ def _expand_interval_matches(engine, scan, projected, steps, window=None):
 
 def _build_pattern(from_steps, pushdown):
     """Pattern tree: the FROM path chain (last step projected — that is the
-    element the variable binds to) with an optional predicate chain and its
-    value words hanging below it."""
+    element the variable binds to) with optional predicate chains and their
+    value words hanging below it.
+
+    ``pushdown`` is ``None``, one ``(path_steps, value)`` pair, or a list
+    of pairs — every pair becomes a branch under the projected node, so
+    the containment pre-filter is the conjunction of all pushed
+    predicates."""
     nodes = [
         PatternNode(
             step.tag,
@@ -295,8 +283,13 @@ def _build_pattern(from_steps, pushdown):
         parent.add(child)
     nodes[-1].projected = True
 
-    if pushdown is not None:
-        pred_steps, value = pushdown
+    if pushdown is None:
+        pushdowns = []
+    elif isinstance(pushdown, tuple):
+        pushdowns = [pushdown]
+    else:
+        pushdowns = list(pushdown)
+    for pred_steps, value in pushdowns:
         anchor = nodes[-1]
         for step in pred_steps:
             anchor = anchor.add(
@@ -311,12 +304,15 @@ def _build_pattern(from_steps, pushdown):
     return Pattern(nodes[0])
 
 
-def _pushable_value(var, where):
-    """A ``R/path = literal`` conjunct of the WHERE clause, returned as
-    ``(path_steps, literal)`` — safe to push into the pattern as containment
-    (the WHERE clause re-verifies exactly, so this is only a pre-filter)."""
+def _pushable_values(var, where):
+    """Every ``R/path = literal`` conjunct of the WHERE clause, in clause
+    order, each as ``(path_steps, literal)`` — safe to push into the
+    pattern as containment (the WHERE clause re-verifies exactly, so these
+    are only pre-filters).  The optimizer decides how many to push and in
+    which order."""
+    out = []
     if where is None:
-        return None
+        return out
     for conjunct in _conjuncts(where):
         if not isinstance(conjunct, BinOp) or conjunct.op != "=":
             continue
@@ -329,9 +325,16 @@ def _pushable_value(var, where):
                 and isinstance(other, Literal)
                 and tokenize(str(other.value))
             ):
-                return (Path(this.path).steps if this.path else [],
-                        other.value)
-    return None
+                out.append((Path(this.path).steps if this.path else [],
+                            other.value))
+                break
+    return out
+
+
+def _pushable_value(var, where):
+    """The first pushable conjunct (the legacy single-pushdown rule)."""
+    values = _pushable_values(var, where)
+    return values[0] if values else None
 
 
 def _conjuncts(expr):
@@ -376,28 +379,16 @@ def _match_segments(segments, seg_index, steps, step_index):
 
 def _nav_bindings(engine, item, doc_ids, window=None):
     path = Path(item.path) if item.path else None
-    bindings = []
     if item.time_spec is EVERY:
         start = engine.horizon_start()
         end = engine.horizon_end()
         if window is not None:
             start = max(start, window.start)
             end = min(end, window.end)
-        for doc_id in doc_ids:
-            history = DocHistory(engine.store, doc_id, start, end,
-                                 tracer=engine.tracer)
-            dindex = engine.store.delta_index(doc_id)
-            for teid, tree in history:
-                entry = dindex.version_at(teid.timestamp)
-                interval = Interval(entry.timestamp, dindex.end_of(entry))
-                bindings.extend(
-                    _bind_tree(engine, doc_id, tree, path, teid.timestamp,
-                               interval)
-                )
-        bindings.reverse()  # oldest first, matching the index plan's order
-        return bindings
+        return _nav_every(engine, doc_ids, path, start, end)
 
     ts = engine.resolve_time(item.time_spec)
+    bindings = []
     for doc_id in doc_ids:
         tree = (
             engine.active_cache.document_at(doc_id, ts)
@@ -413,6 +404,28 @@ def _nav_bindings(engine, item, doc_ids, window=None):
             _bind_tree(engine, doc_id, tree, path, entry.timestamp, interval)
         )
     return bindings
+
+
+def _nav_every(engine, doc_ids, path, start, end):
+    """Stream EVERY bindings one version at a time.
+
+    Yields in the established navigational order — documents in reverse
+    resolution order, versions oldest first (a forward delta sweep: one
+    anchor plus one delta per further version), elements in reverse
+    document order within each version — identical to the materialize-
+    then-``reverse()`` implementation it replaces, but lazily, so a LIMIT
+    stops the sweep instead of paying for the whole history."""
+    for doc_id in reversed(doc_ids):
+        history = DocHistory(engine.store, doc_id, start, end,
+                             tracer=engine.tracer, newest_first=False)
+        dindex = engine.store.delta_index(doc_id)
+        for teid, tree in history:
+            entry = dindex.version_at(teid.timestamp)
+            interval = Interval(entry.timestamp, dindex.end_of(entry))
+            yield from reversed(
+                _bind_tree(engine, doc_id, tree, path, teid.timestamp,
+                           interval)
+            )
 
 
 def _bind_tree(engine, doc_id, tree, path, version_ts, interval):

@@ -40,6 +40,7 @@ from .ast import (
     FromItem,
     FuncCall,
     IntervalLiteral,
+    NotOp,
     NowLiteral,
     Query,
     VarPath,
@@ -126,6 +127,8 @@ def _fold(expr, now):
         return BinOp(expr.op, left, right)
     if isinstance(expr, FuncCall):
         return FuncCall(expr.name, [_fold(a, now) for a in expr.args])
+    if isinstance(expr, NotOp):
+        return NotOp(_fold(expr.expr, now))
     if isinstance(expr, NowLiteral) and now is not None:
         return DateLiteral(now)
     return expr

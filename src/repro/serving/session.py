@@ -185,7 +185,7 @@ class Session:
             engine = getattr(db, "engine", None)
             options = (
                 engine.options if engine is not None
-                else QueryOptions(lifetime_strategy="index")
+                else QueryOptions(lifetime_strategy="auto")
             )
         self.engine = QueryEngine(
             db.store,

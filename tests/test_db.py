@@ -27,8 +27,8 @@ class TestFacade:
         load_figure1(db)
         assert db.fti.lookup("napoli")
         assert len(db.lifetime) > 0
-        # Default facade options use the lifetime index for CREATE TIME.
-        assert db.engine.options.lifetime_strategy == "index"
+        # Default facade options let the optimizer pick per CREATE TIME call.
+        assert db.engine.options.lifetime_strategy == "auto"
 
     def test_custom_options(self):
         db = TemporalXMLDatabase(

@@ -214,7 +214,7 @@ class TestExplainAnalyze:
         assert root.name == "Query"
         child_names = [c.name for c in root.children]
         assert child_names == [
-            "Rewrite", "TPatternScanAll", "Filter", "Project",
+            "Rewrite", "Plan", "TPatternScanAll", "Filter", "Project",
         ]
         scan = root.find("TPatternScanAll")
         assert {c.name for c in scan.children} == {
