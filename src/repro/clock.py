@@ -239,6 +239,89 @@ def coalesce(intervals):
     return merged
 
 
+#: Units accepted by the temporal bucket helpers (and the TXQL GROUP BY
+#: bucket functions DAY/WEEK/MONTH/YEAR).
+BUCKET_UNITS = ("DAY", "WEEK", "MONTH", "YEAR")
+
+
+def _civil(ts):
+    """``(year, month, day)`` of the UTC day containing ``ts``."""
+    days = ts // SECONDS_PER_DAY
+    year = 1970
+    while True:
+        year_days = 366 if _is_leap(year) else 365
+        if days >= year_days:
+            days -= year_days
+            year += 1
+        elif days < 0:
+            year -= 1
+            days += 366 if _is_leap(year) else 365
+        else:
+            break
+    month = 1
+    while days >= _days_in_month(year, month):
+        days -= _days_in_month(year, month)
+        month += 1
+    return year, month, days + 1
+
+
+def bucket_floor(ts, unit):
+    """Start of the calendar bucket containing ``ts``.
+
+    ``DAY`` buckets are UTC days, ``WEEK`` buckets are seven-day spans
+    anchored at the epoch (01/01/1970 was a Thursday; the anchor is the
+    epoch itself, not a weekday), ``MONTH``/``YEAR`` are calendar months
+    and years.  All buckets are closed-open: ``[floor, next)``.
+    """
+    unit = unit.upper()
+    if unit == "DAY":
+        return (ts // SECONDS_PER_DAY) * SECONDS_PER_DAY
+    if unit == "WEEK":
+        return (ts // SECONDS_PER_WEEK) * SECONDS_PER_WEEK
+    year, month, _day = _civil(ts)
+    if unit == "MONTH":
+        return _days_since_epoch(year, month, 1) * SECONDS_PER_DAY
+    if unit == "YEAR":
+        return _days_since_epoch(year, 1, 1) * SECONDS_PER_DAY
+    raise TimeError(f"unknown bucket unit: {unit!r}")
+
+
+def bucket_next(start, unit):
+    """Start of the bucket following the one that starts at ``start``."""
+    unit = unit.upper()
+    if unit == "DAY":
+        return start + SECONDS_PER_DAY
+    if unit == "WEEK":
+        return start + SECONDS_PER_WEEK
+    year, month, _day = _civil(start)
+    if unit == "MONTH":
+        if month == 12:
+            year, month = year + 1, 1
+        else:
+            month += 1
+        return _days_since_epoch(year, month, 1) * SECONDS_PER_DAY
+    if unit == "YEAR":
+        return _days_since_epoch(year + 1, 1, 1) * SECONDS_PER_DAY
+    raise TimeError(f"unknown bucket unit: {unit!r}")
+
+
+def bucket_spans(start_ts, end_ts, unit):
+    """Closed-open bucket spans ``(bucket_start, bucket_end)`` overlapping
+    the half-open range ``[start_ts, end_ts)``, in ascending order.
+
+    The first span may start before ``start_ts`` (its bucket merely
+    *contains* it); callers clip if they need exact coverage.  An empty
+    range yields nothing.
+    """
+    if start_ts >= end_ts:
+        return
+    bucket = bucket_floor(start_ts, unit)
+    while bucket < end_ts:
+        following = bucket_next(bucket, unit)
+        yield bucket, following
+        bucket = following
+
+
 class LogicalClock:
     """A deterministic transaction-time source.
 

@@ -198,6 +198,14 @@ class Coalesce:
     Example: three versions of a restaurant priced 15, 15, 18 coalesce into
     two rows — price 15 over the union of the first two validity intervals,
     price 18 over the third.
+
+    Grouping contract: rows are value-equivalent when their non-interval
+    columns compare equal under :func:`_row_key` (nodes by serialization,
+    column order irrelevant).  Groups are emitted in first-seen order.
+    Rows *without* an ``__interval__`` cannot participate in interval
+    merging; they pass through with multiplicity preserved — a group seen
+    n times without an interval yields n interval-less rows (before that
+    group's merged-interval rows, if it also had timestamped members).
     """
 
     def __init__(self, source):
@@ -211,20 +219,109 @@ class Coalesce:
         for row in self.source:
             key = _row_key(row)
             if key not in groups:
-                groups[key] = {"row": row, "intervals": []}
+                groups[key] = {"row": row, "intervals": [], "bare": 0}
                 order.append(key)
             interval = row.get(INTERVAL_KEY)
-            if interval is not None:
+            if interval is None:
+                groups[key]["bare"] += 1
+            else:
                 groups[key]["intervals"].append(interval)
         for key in order:
             group = groups[key]
-            if not group["intervals"]:
-                yield dict(group["row"])
-                continue
+            if group["bare"]:
+                bare = dict(group["row"])
+                bare.pop(INTERVAL_KEY, None)
+                for _ in range(group["bare"]):
+                    yield dict(bare)
             for interval in merge_intervals(group["intervals"]):
                 merged = dict(group["row"])
                 merged[INTERVAL_KEY] = interval
                 yield merged
+
+
+class GroupedAggregate:
+    """Group rows and aggregate within each group (GROUP BY).
+
+    ``keys`` maps output column names to callables producing a row's
+    grouping value.  A key callable may return a **list** of values —
+    temporal bucketing does, one bucket start per calendar bucket the
+    row's validity overlaps — in which case the row contributes once per
+    value (and, with several multi-valued keys, once per combination).  A
+    row whose key list is empty falls into no group and is dropped.
+
+    ``specs`` maps output names to ``(kind, expr)`` as in
+    :class:`Aggregate`, except ``expr`` returns the row's *list of
+    contributions* (``count`` counts them, ``sum`` adds them, ...);
+    ``None`` contributes ``[1]`` (bare ``COUNT(*)``-style counting).
+
+    ``distinct_key`` (optional) maps a row to a hashable key; within each
+    group only the first row per key contributes to the aggregates — SQL
+    ``COUNT(DISTINCT ...)`` semantics.
+
+    Groups are emitted sorted by their key values (via :func:`_sort_value`)
+    so output order is deterministic regardless of input order.
+    """
+
+    def __init__(self, source, keys, specs, distinct_key=None):
+        for name, (kind, _expr) in specs.items():
+            if kind not in Aggregate._KINDS:
+                raise ValueError(f"unknown aggregate {kind!r} for {name!r}")
+        self.source = source
+        self.keys = keys
+        self.specs = specs
+        self.distinct_key = distinct_key
+
+    def __iter__(self):
+        key_names = list(self.keys)
+        groups = {}
+        for row in self.source:
+            combos = [{}]
+            for name in key_names:
+                produced = self.keys[name](row)
+                values = produced if isinstance(produced, list) else [produced]
+                combos = [
+                    {**combo, name: value}
+                    for combo in combos
+                    for value in values
+                ]
+            if not combos:
+                continue
+            contributions = {}
+            for name, (_kind, expr) in self.specs.items():
+                if expr is None:
+                    contributions[name] = [1]
+                else:
+                    values = expr(row)
+                    contributions[name] = (
+                        values if isinstance(values, list) else [values]
+                    )
+            dkey = self.distinct_key(row) if self.distinct_key else None
+            for combo in combos:
+                gid = tuple(_value_key(combo[name]) for name in key_names)
+                group = groups.get(gid)
+                if group is None:
+                    group = groups[gid] = {
+                        "values": combo,
+                        "acc": {name: [] for name in self.specs},
+                        "seen": set(),
+                    }
+                if dkey is not None:
+                    if dkey in group["seen"]:
+                        continue
+                    group["seen"].add(dkey)
+                for name, values in contributions.items():
+                    group["acc"][name].extend(values)
+
+        def group_order(gid):
+            values = groups[gid]["values"]
+            return tuple(_sort_value(values[name]) for name in key_names)
+
+        for gid in sorted(groups, key=group_order):
+            group = groups[gid]
+            out = dict(group["values"])
+            for name, (kind, _expr) in self.specs.items():
+                out[name] = Aggregate._finish(kind, group["acc"][name])
+            yield out
 
 
 def _row_key(row):
@@ -238,11 +335,34 @@ def _row_key(row):
 
 
 def _value_key(value):
+    from ..query.values import BoundElement, NodeValue
     from ..xmlcore.node import Element, Text
     from ..xmlcore.serializer import serialize
 
     if isinstance(value, (Element, Text)):
         return serialize(value)
+    if isinstance(value, BoundElement):
+        return serialize(value.tree)
+    if isinstance(value, NodeValue):
+        return serialize(value.node)
     if isinstance(value, list):
         return tuple(_value_key(v) for v in value)
     return value
+
+
+def _sort_value(value):
+    """Total order over heterogeneous grouping values.
+
+    ``None`` sorts first, then numbers (timestamps are ints), then
+    strings, then everything else by the string form of its value key
+    (nodes order by their serialization).
+    """
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (3, str(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(_value_key(value)))

@@ -15,6 +15,26 @@ from ..clock import format_timestamp
 EVERY = "EVERY"
 
 
+@dataclass(frozen=True)
+class EveryWithin:
+    """``[EVERY WITHIN n UNIT]`` — a ``NOW``-relative sequenced window.
+
+    Sugar for an EVERY binding restricted to the versions whose validity
+    intersects ``[NOW - seconds, NOW]`` (everything that *was current* at
+    some point in the window — TIME() of an included version may predate
+    the window).  Desugared before planning into the EVERY sentinel plus a
+    :class:`~repro.query.rewriter.TimeWindow`, so it composes with the
+    rewriter's ``TIME(R)``-derived windows by intersection and with a
+    pinned session's horizon (``NOW`` is the pin).
+    """
+
+    seconds: int
+    text: str = ""
+
+    def label(self):
+        return f"EVERY WITHIN {self.text or f'{self.seconds} SECONDS'}"
+
+
 class Expr:
     """Base class of all expression nodes."""
 
@@ -177,11 +197,21 @@ class FromItem:
 
 @dataclass
 class Query:
-    """A full SELECT/FROM/WHERE[/LIMIT] query.
+    """A full SELECT/FROM/WHERE[/GROUP BY][/LIMIT] query.
 
     ``limit`` caps the number of result rows; with streaming binding
     enumeration the executor stops the underlying index scan as soon as
     the cap is reached (early exit, not a post-filter).
+
+    ``coalesce`` marks ``SELECT COALESCE``: value-equivalent result rows
+    are merged over maximal validity intervals (the sequenced coalescing
+    operator); the merged interval is returned as a trailing ``VALID``
+    column.
+
+    ``group_by`` is ``None`` or the list of grouping expressions —
+    variable paths or the temporal bucket functions
+    DAY/WEEK/MONTH/YEAR(R), which expand a row into every calendar bucket
+    its validity interval overlaps.
 
     ``explain`` marks an ``EXPLAIN`` prefix: ``None`` (run normally),
     ``"plan"`` (describe without executing) or ``"analyze"`` (execute
@@ -194,17 +224,24 @@ class Query:
     distinct: bool = False
     limit: int = None
     explain: str = None
+    coalesce: bool = False
+    group_by: list = None
 
     def label(self):
         parts = ["SELECT"]
         if self.distinct:
             parts.append("DISTINCT")
+        if self.coalesce:
+            parts.append("COALESCE")
         parts.append(", ".join(e.label() for e in self.select_items))
         parts.append("FROM")
         parts.append(", ".join(f.label() for f in self.from_items))
         if self.where is not None:
             parts.append("WHERE")
             parts.append(self.where.label())
+        if self.group_by:
+            parts.append("GROUP BY")
+            parts.append(", ".join(e.label() for e in self.group_by))
         if self.limit is not None:
             parts.append(f"LIMIT {self.limit}")
         return " ".join(parts)
@@ -215,6 +252,11 @@ class Query:
 
 #: Aggregate function names (checked by parser and executor).
 AGGREGATES = frozenset({"SUM", "COUNT", "AVG", "MIN", "MAX"})
+
+#: Temporal bucket functions usable in GROUP BY (and anywhere an
+#: expression is allowed, where they evaluate to the bucket start of the
+#: binding's version timestamp).
+TEMPORAL_BUCKETS = frozenset({"DAY", "WEEK", "MONTH", "YEAR"})
 
 #: Two-word function spellings normalized by the parser.
 FUNCTIONS = frozenset(
@@ -230,7 +272,7 @@ FUNCTIONS = frozenset(
         "SIMILARITY",
         "EXISTS",
     }
-) | AGGREGATES
+) | AGGREGATES | TEMPORAL_BUCKETS
 
 
 def is_aggregate_expr(expr):
@@ -239,3 +281,21 @@ def is_aggregate_expr(expr):
         isinstance(node, FuncCall) and node.name in AGGREGATES
         for node in expr.walk()
     )
+
+
+def bucket_call(expr):
+    """``MONTH(R)``-shaped bucket call → ``(unit, var)``, else ``None``.
+
+    Bucket calls participating in GROUP BY must name a bare bound
+    variable — the bucketed quantity is the row's validity interval, and
+    only a variable binding carries one.
+    """
+    if (
+        isinstance(expr, FuncCall)
+        and expr.name in TEMPORAL_BUCKETS
+        and len(expr.args) == 1
+        and isinstance(expr.args[0], VarPath)
+        and not expr.args[0].path
+    ):
+        return expr.name, expr.args[0].var
+    return None

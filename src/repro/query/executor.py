@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from itertools import product
 
+from ..clock import Interval, bucket_floor, bucket_spans
 from ..equality.value import coerce_scalar
 from ..errors import QueryPlanError
 from ..index.stats import JoinStats
@@ -27,14 +28,15 @@ from ..obs import (
     Tracer,
     metric_sources,
 )
+from ..operators.relational import INTERVAL_KEY, Coalesce, GroupedAggregate
 from ..xmlcore.node import Element, Text
 from ..xmlcore.serializer import serialize
-from .ast import AGGREGATES, FuncCall, Query, is_aggregate_expr
+from .ast import AGGREGATES, FuncCall, Query, bucket_call, is_aggregate_expr
 from .functions import Evaluator
 from .optimizer import Optimizer
 from .parser import parse_query
 from .planner import bind_planned
-from .rewriter import rewrite
+from .rewriter import desugar, rewrite
 from .values import (
     BoundElement,
     NodeValue,
@@ -284,9 +286,10 @@ class QueryEngine:
 
         if isinstance(query, str):
             query = parse_query(query)
-        windows = {}
         if self.options.use_rewriter:
             query, windows = rewrite(query, now=self.now())
+        else:
+            query, windows = desugar(query, now=self.now())
         where = self.optimizer.order_conjuncts(query.where)
         return [
             explain_from_item(self, item, where,
@@ -352,10 +355,13 @@ class QueryEngine:
 
     def _run(self, query):
         tracer = self.tracer
-        windows = {}
         if self.options.use_rewriter:
             with tracer.span("Rewrite"):
                 query, windows = rewrite(query, now=self.now())
+        else:
+            # EVERY WITHIN desugars independently of the rewriter so
+            # NOW-relative windows bound scans in every configuration.
+            query, windows = desugar(query, now=self.now())
         self.active_cache = SnapshotCache(self.store)
         where = self.optimizer.order_conjuncts(query.where)
         with tracer.span("Plan", optimizer=self.optimizer.enabled):
@@ -373,13 +379,21 @@ class QueryEngine:
         )
 
         aggregates = [is_aggregate_expr(e) for e in query.select_items]
-        if any(aggregates):
-            if not all(aggregates):
+        if query.group_by is not None or any(aggregates):
+            if query.coalesce:
                 raise QueryPlanError(
-                    "cannot mix aggregate and non-aggregate SELECT items"
+                    "COALESCE cannot be combined with aggregates or GROUP BY"
                 )
-            with tracer.span("Aggregate"):
+            grouped = query.group_by is not None
+            with tracer.span("GroupBy" if grouped else "Aggregate",
+                             distinct=query.distinct):
                 result = self._aggregate(query, rows)
+            if query.limit is not None:
+                result.rows = result.rows[: query.limit]
+            return result
+        if query.coalesce:
+            with tracer.span("Coalesce"):
+                result = self._coalesce(query, rows)
             if query.limit is not None:
                 result.rows = result.rows[: query.limit]
             return result
@@ -487,30 +501,178 @@ class QueryEngine:
         return ResultSet(columns, out)
 
     def _aggregate(self, query, rows):
+        """Aggregation, global or grouped.
+
+        Without GROUP BY every SELECT item must be an aggregate and one
+        row is returned (even over empty input).  With GROUP BY the
+        non-aggregate SELECT items must repeat grouping expressions;
+        grouping happens through
+        :class:`~repro.operators.relational.GroupedAggregate`, with
+        temporal bucket calls expanding each row over the calendar
+        buckets its validity overlaps.  ``SELECT DISTINCT`` with
+        aggregates has SQL ``COUNT(DISTINCT ...)`` semantics: within each
+        group, only the first row per distinct tuple of aggregate
+        arguments contributes.
+        """
         columns = [item.label() for item in query.select_items]
-        specs = []
-        for item in query.select_items:
-            if not (isinstance(item, FuncCall) and item.name in AGGREGATES):
+        group_exprs = list(query.group_by or ())
+        group_labels = [expr.label() for expr in group_exprs]
+        agg_specs = {}  # label -> (NAME, arg expr), in SELECT order
+        for item, label in zip(query.select_items, columns):
+            if isinstance(item, FuncCall) and item.name in AGGREGATES:
+                if len(item.args) != 1:
+                    raise QueryPlanError(
+                        f"{item.name} takes exactly one argument"
+                    )
+                agg_specs[label] = (item.name, item.args[0])
+                continue
+            if is_aggregate_expr(item):
                 raise QueryPlanError(
                     "aggregates must be top-level SELECT items"
                 )
-            if len(item.args) != 1:
-                raise QueryPlanError(f"{item.name} takes exactly one argument")
-            specs.append((item.name, item.args[0]))
+            if not group_exprs:
+                raise QueryPlanError(
+                    "cannot mix aggregate and non-aggregate SELECT items"
+                )
+            if label not in group_labels:
+                raise QueryPlanError(
+                    f"SELECT item {label} must be an aggregate or appear "
+                    "in GROUP BY"
+                )
 
-        accumulators = [[] for _ in specs]
+        distinct_key = None
+        if query.distinct and agg_specs:
+            agg_args = [arg for (_name, arg) in agg_specs.values()]
+
+            def distinct_key(row):
+                return tuple(
+                    _distinct_key(self._evaluator.eval(arg, row))
+                    for arg in agg_args
+                )
+
+        if not group_exprs:
+            return self._global_aggregate(
+                columns, agg_specs, distinct_key, rows
+            )
+
+        keys = {}
+        for label, expr in zip(group_labels, group_exprs):
+            bucket = bucket_call(expr)
+            if bucket is not None:
+                unit, var = bucket
+                keys[label] = (
+                    lambda row, u=unit, v=var: self._bucket_values(u, v, row)
+                )
+            else:
+                keys[label] = (
+                    lambda row, e=expr: self._evaluator.eval(e, row)
+                )
+        specs = {
+            label: (
+                name.lower(),
+                lambda row, a=arg: _aggregatable(
+                    self._evaluator.eval(a, row)
+                ),
+            )
+            for label, (name, arg) in agg_specs.items()
+        }
+        grouped = GroupedAggregate(rows, keys, specs,
+                                   distinct_key=distinct_key)
+        out_rows = [
+            {label: grow[label] for label in columns} for grow in grouped
+        ]
+        return ResultSet(columns, out_rows)
+
+    def _global_aggregate(self, columns, agg_specs, distinct_key, rows):
+        accumulators = {label: [] for label in agg_specs}
+        seen = set()
         for row in rows:
-            for acc, (_name, arg) in zip(accumulators, specs):
+            if distinct_key is not None:
+                dkey = distinct_key(row)
+                if dkey in seen:
+                    continue
+                seen.add(dkey)
+            for label, (_name, arg) in agg_specs.items():
                 value = self._evaluator.eval(arg, row)
-                acc.extend(_aggregatable(value))
+                accumulators[label].extend(_aggregatable(value))
         values = {
-            label: _finish_aggregate(name, acc)
-            for label, (name, _arg), acc in zip(columns, specs, accumulators)
+            label: _finish_aggregate(name, accumulators[label])
+            for label, (name, _arg) in agg_specs.items()
         }
         return ResultSet(columns, [values])
 
+    def _bucket_values(self, unit, var, row):
+        """Bucket starts of every calendar bucket the row's validity
+        overlaps (the GROUP BY expansion of ``MONTH(R)`` & co.).
+
+        Open intervals clip at ``now + 1`` so the expansion stays finite.
+        A row whose bindings carry no interval at all (snapshot bindings)
+        falls in the single bucket of its version timestamp; a joined row
+        whose intervals never overlap falls in none.
+        """
+        interval, had_interval = _row_interval(row)
+        if interval is None:
+            if had_interval:
+                return []
+            bound = row[var]
+            return [TimestampValue(bucket_floor(bound.teid.timestamp, unit))]
+        end = min(interval.end, self.now() + 1)
+        return [
+            TimestampValue(start)
+            for start, _stop in bucket_spans(interval.start, end, unit)
+        ]
+
+    def _coalesce(self, query, rows):
+        """SELECT COALESCE: project, then merge value-equivalent rows
+        over maximal validity intervals; the merged interval is returned
+        as a trailing ``VALID`` column (``None`` for rows whose bindings
+        carry no interval — those keep their multiplicity)."""
+        labels = [item.label() for item in query.select_items]
+        columns = labels + ["VALID"]
+
+        def projected():
+            for row in rows:
+                values = {
+                    label: self._evaluator.eval(item, row)
+                    for label, item in zip(labels, query.select_items)
+                }
+                interval, _had = _row_interval(row)
+                if interval is not None:
+                    values[INTERVAL_KEY] = interval
+                yield values
+
+        out_rows = []
+        for merged in Coalesce(projected()):
+            merged["VALID"] = merged.pop(INTERVAL_KEY, None)
+            out_rows.append(merged)
+        return ResultSet(columns, out_rows)
+
 
 # -- aggregation helpers ------------------------------------------------------------
+
+
+def _row_interval(row):
+    """Intersection of the row's binding validity intervals.
+
+    Returns ``(interval, had_interval)``: ``interval`` is ``None`` either
+    when no binding carries one (``had_interval`` False — snapshot
+    bindings) or when the carried intervals never overlap
+    (``had_interval`` True — the row was never simultaneously valid).
+    """
+    interval = None
+    had = False
+    for binding in row.values():
+        other = getattr(binding, "interval", None)
+        if other is None:
+            continue
+        had = True
+        if interval is None:
+            interval = other
+        else:
+            interval = interval.intersect(other)
+            if interval is None:
+                return None, True
+    return interval, had
 
 
 def _aggregatable(value):
@@ -608,7 +770,7 @@ def _plain_text(value):
         return node.value
     if isinstance(value, Element):
         return serialize(value)
-    if isinstance(value, TimestampValue):
+    if isinstance(value, (TimestampValue, Interval)):
         return str(value)
     if isinstance(value, float):
         return f"{value:g}"

@@ -15,7 +15,7 @@ query languages the paper builds on.
 
 from __future__ import annotations
 
-from ..clock import Interval
+from ..clock import Interval, bucket_floor
 from ..equality.similarity import similar, similarity
 from ..equality.value import coerce_scalar, value_equal
 from ..errors import QueryPlanError
@@ -259,6 +259,30 @@ class Evaluator:
             raise QueryPlanError("EXISTS takes exactly one argument")
         return truth(self.eval(args[0], row))
 
+    # -- temporal buckets ---------------------------------------------------------------
+
+    def _bucket(self, unit, args, row):
+        """DAY/WEEK/MONTH/YEAR(R): the bucket start of the version time.
+
+        In GROUP BY position the executor expands the call over every
+        bucket the row's validity overlaps; evaluated directly it floors
+        the version timestamp to its bucket start.
+        """
+        bound = self._bound_arg(args, row, unit)
+        return TimestampValue(bucket_floor(bound.teid.timestamp, unit))
+
+    def _fn_day(self, args, row):
+        return self._bucket("DAY", args, row)
+
+    def _fn_week(self, args, row):
+        return self._bucket("WEEK", args, row)
+
+    def _fn_month(self, args, row):
+        return self._bucket("MONTH", args, row)
+
+    def _fn_year(self, args, row):
+        return self._bucket("YEAR", args, row)
+
     # -- binary operators -------------------------------------------------------------------
 
     def _binop(self, expr, row):
@@ -275,9 +299,31 @@ class Evaluator:
             )
         if op in ("+", "-"):
             return self._arith(op, expr, row)
+        if op == "OVERLAPS":
+            return self._overlaps(expr, row)
         left = self.eval(expr.left, row)
         right = self.eval(expr.right, row)
         return self._compare(op, left, right)
+
+    def _overlaps(self, expr, row):
+        """``X OVERLAPS Y``: do the bindings' validity intervals intersect?
+
+        A binding without an interval (a snapshot binding) is treated as
+        unconstrained — it overlaps everything, matching
+        :class:`~repro.operators.relational.TemporalJoin`'s pass-through
+        for rows that carry no ``__interval__``.
+        """
+        left = self.eval(expr.left, row)
+        right = self.eval(expr.right, row)
+        for value in (left, right):
+            if not isinstance(value, BoundElement):
+                raise QueryPlanError(
+                    "OVERLAPS expects bound variables, got "
+                    f"{type(value).__name__}"
+                )
+        if left.interval is None or right.interval is None:
+            return True
+        return left.interval.overlaps(right.interval)
 
     def _arith(self, op, expr, row):
         left = _numeric(self.eval(expr.left, row))

@@ -37,6 +37,11 @@ KEYWORDS = frozenset(
         "LIMIT",
         "EXPLAIN",
         "ANALYZE",
+        "COALESCE",
+        "OVERLAPS",
+        "GROUP",
+        "BY",
+        "WITHIN",
     }
 )
 

@@ -30,8 +30,10 @@ Posting-scan estimates are *exact* (list lengths and bisect prefixes);
 row estimates are upper bounds (the smallest participating posting list).
 Every transformation is result-preserving: pushdowns are pre-filters the
 WHERE clause re-verifies, windowed lookups are lossless for window-clipped
-expansion, conjunct reordering only permutes a commutative AND, and
-prefilters evaluate exactly the conjuncts the full WHERE would.  Turning
+expansion, conjunct reordering permutes a commutative AND only between
+error-barrier conjuncts (ones that can raise keep their relative position,
+so error behavior matches the textual order), and prefilters evaluate
+exactly the conjuncts the full WHERE would.  Turning
 the optimizer off (``QueryOptions(use_optimizer=False)``) restores the
 legacy plan shape; the randomized equivalence suite asserts both modes
 return byte-identical results.
@@ -405,7 +407,14 @@ class Optimizer:
     def order_conjuncts(self, where):
         """Reorder top-level AND conjuncts cheapest-and-most-selective
         first.  AND is commutative and the evaluator short-circuits, so
-        this only changes which conjunct rejects a row first."""
+        for *total* conjuncts this only changes which one rejects a row
+        first.  Conjuncts that can raise (function calls, ``TIME`` over a
+        navigated path, non-variable ``OVERLAPS`` operands) are
+        **barriers**: they keep their position, and sorting happens only
+        within the maximal runs of safe conjuncts between them.  The set
+        of conjuncts evaluated before any potentially raising one is
+        therefore unchanged, so errors surface for exactly the rows (and
+        in exactly the order) the textual WHERE would raise them."""
         from .planner import _conjuncts
 
         if not self.enabled or where is None:
@@ -413,7 +422,16 @@ class Optimizer:
         conjuncts = list(_conjuncts(where))
         if len(conjuncts) < 2:
             return where
-        ranked = sorted(conjuncts, key=self._conjunct_rank)
+        ranked = []
+        run = []
+        for conjunct in conjuncts:
+            if _may_raise(conjunct):
+                ranked.extend(sorted(run, key=self._conjunct_rank))
+                ranked.append(conjunct)
+                run = []
+            else:
+                run.append(conjunct)
+        ranked.extend(sorted(run, key=self._conjunct_rank))
         if ranked != conjuncts:
             self.counters.conjuncts_reordered += 1
         ordered = ranked[0]
@@ -422,11 +440,17 @@ class Optimizer:
         return ordered
 
     def _conjunct_rank(self, conjunct):
-        """(expense class, estimated matches): 0 = timestamp compare,
-        1 = value predicate (ranked by rarest-term frequency), 2 = other
-        expressions, 3 = anything calling an expensive function."""
+        """(expense class, estimated matches): 0 = timestamp compare or
+        interval overlap, 1 = value predicate (ranked by rarest-term
+        frequency), 2 = other expressions, 3 = anything calling an
+        expensive function."""
         if _time_comparison_var(conjunct) is not None:
             return (0, 0.0)
+        if isinstance(conjunct, BinOp) and conjunct.op == "OVERLAPS":
+            # Interval intersection on already-bound rows: as cheap as a
+            # timestamp compare, but rarely as selective as an equality
+            # pin, so it sorts after plain TIME compares.
+            return (0, 1.0)
         value_pred = _value_predicate(conjunct)
         if value_pred is not None:
             _var, op, literal = value_pred
@@ -447,16 +471,21 @@ class Optimizer:
         before the FROM product is formed.
 
         Only total, cheap predicate classes participate (timestamp
-        comparisons and value predicates): they cannot raise for a binding
-        the full WHERE would have skipped, so pre-filtering is exactly the
-        evaluation the product would do anyway — just earlier, once per
-        binding instead of once per combination."""
+        comparisons, interval overlaps, value predicates), and only from
+        the *leading* run of safe conjuncts — a conjunct positioned after
+        one that can raise must not run early, because rejecting a row
+        with it could suppress the error the textual WHERE order would
+        have raised.  Within the leading run, pre-filtering is exactly
+        the evaluation the product would do anyway — just earlier, once
+        per binding instead of once per combination."""
         from .planner import _conjuncts
 
         out = {}
         if not self.enabled or where is None or len(variables) < 2:
             return out
         for conjunct in _conjuncts(where):
+            if _may_raise(conjunct):
+                break
             rank = self._conjunct_rank(conjunct)[0]
             if rank > 1:
                 continue
@@ -508,7 +537,11 @@ class Optimizer:
 
 
 def _time_comparison_var(conjunct):
-    """``TIME(R) cmp literal`` (either side) → the variable, else None."""
+    """``TIME(R) cmp literal`` (either side) → the variable, else None.
+
+    The argument must be a *bare* variable: ``TIME(R/price)`` raises at
+    evaluation (TIME needs a bound element), so it must not classify as a
+    safe, hoistable timestamp compare."""
     if not isinstance(conjunct, BinOp) or conjunct.op not in (
         "<", "<=", ">", ">=", "=", "!=",
     ):
@@ -522,10 +555,42 @@ def _time_comparison_var(conjunct):
             and this.name == "TIME"
             and len(this.args) == 1
             and isinstance(this.args[0], VarPath)
+            and not this.args[0].path
             and not isinstance(other, (BinOp, FuncCall))
         ):
             return this.args[0].var
     return None
+
+
+def _safe_time_call(node):
+    """``TIME(R)`` over a bare variable — the one function shape that is
+    total over binding rows (every binding is a BoundElement)."""
+    return (
+        node.name == "TIME"
+        and len(node.args) == 1
+        and isinstance(node.args[0], VarPath)
+        and not node.args[0].path
+    )
+
+
+def _may_raise(conjunct):
+    """Can evaluating this conjunct raise on some binding row?
+
+    Function calls may reject their argument shapes at evaluation time
+    (``TIME`` on a navigated path, ``CREATE TIME`` on a literal, unknown
+    aggregates, ...), and ``OVERLAPS`` requires both operands to be bound
+    variables.  Everything else in the expression language is total over
+    rows: comparisons coerce, paths select (possibly nothing), AND/OR/NOT
+    combine truth values."""
+    for node in conjunct.walk():
+        if isinstance(node, FuncCall):
+            if not _safe_time_call(node):
+                return True
+        elif isinstance(node, BinOp) and node.op == "OVERLAPS":
+            for side in (node.left, node.right):
+                if not (isinstance(side, VarPath) and not side.path):
+                    return True
+    return False
 
 
 def _value_predicate(conjunct):

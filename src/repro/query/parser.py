@@ -2,15 +2,15 @@
 
 Grammar (lexer terminals in caps)::
 
-    query        := SELECT [DISTINCT] expr ("," expr)*
+    query        := SELECT [DISTINCT | COALESCE] expr ("," expr)*
                     FROM from_item ("," from_item)* [WHERE or_expr]
-                    [LIMIT NUMBER]
+                    [GROUP BY expr ("," expr)*] [LIMIT NUMBER]
     from_item    := DOC "(" STRING ")" ["[" time_spec "]"] [path] [AS] IDENT
-    time_spec    := EVERY | time_expr
+    time_spec    := EVERY [WITHIN NUMBER unit] | time_expr
     or_expr      := and_expr (OR and_expr)*
     and_expr     := not_expr (AND not_expr)*
     not_expr     := [NOT] comparison
-    comparison   := additive [cmp_op additive]
+    comparison   := additive [cmp_op additive] | additive OVERLAPS additive
     cmp_op       := "=" | "==" | "~" | "!=" | "<" | "<=" | ">" | ">="
     additive     := primary (("+"|"-") (NUMBER unit | primary))*
     primary      := literal | func_call | var_path | "(" or_expr ")"
@@ -32,6 +32,7 @@ from .ast import (
     FUNCTIONS,
     BinOp,
     DateLiteral,
+    EveryWithin,
     FromItem,
     FuncCall,
     IntervalLiteral,
@@ -41,6 +42,7 @@ from .ast import (
     PathApply,
     Query,
     VarPath,
+    is_aggregate_expr,
 )
 from .lexer import DATE, EOF, IDENT, NUMBER, STRING, tokenize_query
 
@@ -105,6 +107,11 @@ class _Parser:
             explain = "analyze" if self._accept_keyword("ANALYZE") else "plan"
         self._expect_keyword("SELECT")
         distinct = self._accept_keyword("DISTINCT")
+        coalesce = self._accept_keyword("COALESCE")
+        if distinct and coalesce:
+            raise QuerySyntaxError(
+                "DISTINCT and COALESCE cannot be combined"
+            )
         select_items = [self._expr()]
         while self._accept_symbol(","):
             select_items.append(self._expr())
@@ -115,14 +122,34 @@ class _Parser:
         where = None
         if self._accept_keyword("WHERE"):
             where = self._or_expr()
+        group_by = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = [self._expr()]
+            while self._accept_symbol(","):
+                group_by.append(self._expr())
+            for term in group_by:
+                if is_aggregate_expr(term):
+                    raise QuerySyntaxError(
+                        "aggregate functions are not allowed in GROUP BY"
+                    )
         limit = None
         if self._accept_keyword("LIMIT"):
             limit = self._limit_count()
         if self._peek().kind != EOF:
             self._error("unexpected trailing input")
-        self._check_variables(select_items, from_items, where)
+        if coalesce:
+            if group_by is not None:
+                raise QuerySyntaxError(
+                    "COALESCE and GROUP BY cannot be combined"
+                )
+            if any(is_aggregate_expr(e) for e in select_items):
+                raise QuerySyntaxError(
+                    "COALESCE cannot be combined with aggregate functions"
+                )
+        self._check_variables(select_items, from_items, where, group_by)
         return Query(select_items, from_items, where, distinct, limit,
-                     explain)
+                     explain, coalesce, group_by)
 
     def _limit_count(self):
         token = self._peek()
@@ -131,7 +158,8 @@ class _Parser:
         self._next()
         return int(token.value)
 
-    def _check_variables(self, select_items, from_items, where):
+    def _check_variables(self, select_items, from_items, where,
+                         group_by=None):
         declared = {f.var for f in from_items}
         if len(declared) != len(from_items):
             raise QuerySyntaxError("duplicate FROM variable")
@@ -140,6 +168,8 @@ class _Parser:
             used.extend(expr.walk())
         if where is not None:
             used.extend(where.walk())
+        for expr in group_by or ():
+            used.extend(expr.walk())
         for node in used:
             if isinstance(node, VarPath) and node.var not in declared:
                 raise QuerySyntaxError(
@@ -156,7 +186,10 @@ class _Parser:
         time_spec = None
         if self._accept_symbol("["):
             if self._accept_keyword("EVERY"):
-                time_spec = EVERY
+                if self._accept_keyword("WITHIN"):
+                    time_spec = self._within_window()
+                else:
+                    time_spec = EVERY
             else:
                 time_spec = self._time_expr()
             self._expect_symbol("]")
@@ -172,6 +205,25 @@ class _Parser:
         ):
             self._error("expected a binding variable after the document")
         return FromItem(url_token.value, time_spec, path, var_token.value)
+
+    def _within_window(self):
+        """``EVERY WITHIN n UNIT`` — a NOW-relative sequenced window."""
+        amount_token = self._peek()
+        unit_token = self._peek(1)
+        if not (
+            amount_token.kind == NUMBER
+            and "." not in amount_token.value
+            and unit_token.kind == IDENT
+            and unit_token.value.upper() in INTERVAL_UNITS
+        ):
+            self._error("WITHIN expects a duration like 30 DAYS")
+        self._next()
+        self._next()
+        amount = int(amount_token.value)
+        return EveryWithin(
+            interval_seconds(amount, unit_token.value),
+            f"{amount} {unit_token.value.upper()}",
+        )
 
     def _path_string(self):
         """Consume ``/step//step...`` tokens and rebuild the path text.
@@ -222,6 +274,9 @@ class _Parser:
         if token.kind == "SYMBOL" and token.value in _COMPARISONS:
             self._next()
             return BinOp(token.value, left, self._additive())
+        if token.is_keyword("OVERLAPS"):
+            self._next()
+            return BinOp("OVERLAPS", left, self._additive())
         return left
 
     def _additive(self):

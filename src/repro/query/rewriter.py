@@ -33,10 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..clock import BEFORE_TIME, UNTIL_CHANGED
+from ..errors import QueryPlanError
 from .ast import (
     EVERY,
     BinOp,
     DateLiteral,
+    EveryWithin,
     FromItem,
     FuncCall,
     IntervalLiteral,
@@ -82,6 +84,41 @@ class TimeWindow:
         return f"[{format_timestamp(self.start)}, {format_timestamp(self.end)})"
 
 
+def desugar(query, now=None):
+    """Lower ``[EVERY WITHIN n UNIT]`` sugar; returns ``(query', windows)``.
+
+    Each :class:`~repro.query.ast.EveryWithin` qualifier becomes the plain
+    ``EVERY`` sentinel plus a hard :class:`TimeWindow`
+    ``[now - seconds, now + 1)`` for that variable — the versions whose
+    validity *intersects* the window, i.e. everything that was current at
+    some point within it.  Desugaring is independent of the optimizer and
+    the other rewrite rules, so the window clause works in every
+    optimizer/rewriter on-off combination.  The input query is not mutated.
+    """
+    windows = {}
+    if not any(
+        isinstance(item.time_spec, EveryWithin) for item in query.from_items
+    ):
+        return query, windows
+    if now is None:
+        raise QueryPlanError("EVERY WITHIN requires a clock")
+    from_items = []
+    for item in query.from_items:
+        time_spec = item.time_spec
+        if isinstance(time_spec, EveryWithin):
+            windows[item.var] = TimeWindow(now - time_spec.seconds, now + 1)
+            time_spec = EVERY
+        from_items.append(
+            FromItem(item.url, time_spec, item.path, item.var)
+        )
+    desugared = Query(select_items=query.select_items,
+                      from_items=from_items, where=query.where,
+                      distinct=query.distinct, limit=query.limit,
+                      explain=query.explain, coalesce=query.coalesce,
+                      group_by=query.group_by)
+    return desugared, windows
+
+
 def rewrite(query, now=None):
     """Apply all rules; returns ``(query', windows)``.
 
@@ -89,9 +126,16 @@ def rewrite(query, now=None):
     the planner (only variables with an actual restriction appear).  The
     input query is not mutated.
     """
+    query, within_windows = desugar(query, now)
     folded_where = _fold(query.where, now)
     select_items = [_fold(item, now) for item in query.select_items]
+    group_by = None
+    if query.group_by is not None:
+        group_by = [_fold(item, now) for item in query.group_by]
     windows = _extract_windows(folded_where, now)
+    for var, window in within_windows.items():
+        current = windows.get(var, TimeWindow())
+        windows[var] = current.intersect(window)
 
     from_items = []
     for item in query.from_items:
@@ -107,7 +151,8 @@ def rewrite(query, now=None):
             FromItem(item.url, time_spec, item.path, item.var)
         )
     rewritten = Query(select_items, from_items, folded_where,
-                      query.distinct, query.limit)
+                      query.distinct, query.limit,
+                      coalesce=query.coalesce, group_by=group_by)
     return rewritten, windows
 
 

@@ -18,6 +18,7 @@ import random
 import pytest
 
 from repro.clock import SECONDS_PER_DAY, format_timestamp, parse_date
+from repro.errors import QueryPlanError
 from repro.index import LifetimeIndex, TemporalFullTextIndex
 from repro.index.statistics import CorpusStatistics
 from repro.query import QueryEngine, QueryOptions
@@ -144,6 +145,35 @@ class TestRandomizedEquivalence:
             assert sorted(str(on.execute(query)).splitlines()) == expected, (
                 query
             )
+
+    def test_error_behavior_matches_textual_order(self, corpus):
+        """Conjunct reordering must not change *whether* a query raises.
+
+        ``TIME(R/price)`` is ill-typed (TIME wants a bare variable) but
+        only raises for rows that survive the earlier conjuncts — the
+        evaluator short-circuits AND left to right.  Raising conjuncts
+        are reordering barriers, so a filter that textually precedes one
+        still runs first with the optimizer on.
+        """
+        on = _engine(corpus)
+        off = _engine(corpus, use_optimizer=False)
+        suppressed = (
+            'SELECT R/name FROM doc("g0.com")[EVERY]/restaurant R '
+            'WHERE R/name = "no such restaurant" '
+            "AND TIME(R/price) >= 01/01/2001"
+        )
+        assert str(on.execute(suppressed)) == str(off.execute(suppressed))
+        assert len(on.execute(suppressed)) == 0
+
+        matching = corpus[3]["name"][0]
+        raising = (
+            'SELECT R/name FROM doc("*")[EVERY]/restaurant R '
+            f'WHERE R/name = "{matching}" AND TIME(R/price) >= 01/01/2001'
+        )
+        with pytest.raises(QueryPlanError):
+            on.execute(raising)
+        with pytest.raises(QueryPlanError):
+            off.execute(raising)
 
     def test_planner_counters_moved(self, corpus):
         engine = _engine(corpus)

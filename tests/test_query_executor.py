@@ -241,6 +241,29 @@ class TestResultSet:
         )
         assert len(result) == 2
 
+    def test_distinct_count_dedups_before_aggregation(self, figure1_db):
+        # Regression: SELECT DISTINCT COUNT(...) used to ignore DISTINCT
+        # (the single aggregate row is trivially distinct).  It now has
+        # SQL COUNT(DISTINCT ...) semantics: dedup the aggregate's
+        # arguments, then count.
+        plain = figure1_db.query(
+            'SELECT COUNT(R/name) FROM doc("guide.com")[EVERY]/restaurant R'
+        )
+        distinct = figure1_db.query(
+            'SELECT DISTINCT COUNT(R/name) '
+            'FROM doc("guide.com")[EVERY]/restaurant R'
+        )
+        assert plain.scalar() == 4
+        assert distinct.scalar() == 2
+
+    def test_distinct_count_over_empty_input_is_zero(self, figure1_db):
+        result = figure1_db.query(
+            'SELECT DISTINCT COUNT(R/name) '
+            'FROM doc("guide.com")[EVERY]/restaurant R '
+            'WHERE R/name = "nomatch"'
+        )
+        assert result.scalar() == 0
+
     def test_table_rendering(self, figure1_db):
         result = figure1_db.query(
             'SELECT R/name, R/price FROM doc("guide.com")/restaurant R'

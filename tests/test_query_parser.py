@@ -9,11 +9,14 @@ from repro.query.ast import (
     EVERY,
     BinOp,
     DateLiteral,
+    EveryWithin,
+    FuncCall,
     IntervalLiteral,
     Literal,
     NotOp,
     NowLiteral,
     VarPath,
+    bucket_call,
     is_aggregate_expr,
 )
 from repro.query.lexer import DATE, IDENT, NUMBER, STRING, SYMBOL
@@ -203,6 +206,106 @@ class TestParserExpressions:
         conj = q.where
         assert conj.left.right.value == "text"
         assert conj.right.right.value == 3.5
+
+
+class TestSequencedSyntax:
+    def test_select_coalesce(self):
+        q = parse_query('SELECT COALESCE R/name FROM doc("g")[EVERY]/r R')
+        assert q.coalesce
+        assert not q.distinct
+
+    def test_coalesce_defaults_off(self):
+        q = parse_query('SELECT R FROM doc("g")/r R')
+        assert not q.coalesce
+        assert q.group_by is None
+
+    def test_group_by_bucket_call(self):
+        q = parse_query(
+            'SELECT MONTH(R), COUNT(R) FROM doc("g")[EVERY]/r R '
+            "GROUP BY MONTH(R)"
+        )
+        assert len(q.group_by) == 1
+        assert isinstance(q.group_by[0], FuncCall)
+        assert bucket_call(q.group_by[0]) == ("MONTH", "R")
+
+    def test_group_by_var_path(self):
+        q = parse_query(
+            'SELECT R/name, COUNT(R) FROM doc("g")[EVERY]/r R '
+            "GROUP BY R/name"
+        )
+        assert isinstance(q.group_by[0], VarPath)
+        assert q.group_by[0].path == "name"
+
+    def test_group_by_between_where_and_limit(self):
+        q = parse_query(
+            'SELECT YEAR(R), SUM(R/price) FROM doc("g")[EVERY]/r R '
+            "WHERE R/price > 5 GROUP BY YEAR(R) LIMIT 2"
+        )
+        assert q.where is not None
+        assert q.group_by is not None
+        assert q.limit == 2
+
+    def test_overlaps_comparison(self):
+        q = parse_query(
+            'SELECT R FROM doc("g")[EVERY]/r R, doc("h")[EVERY]/r S '
+            "WHERE R OVERLAPS S"
+        )
+        assert isinstance(q.where, BinOp)
+        assert q.where.op == "OVERLAPS"
+        assert q.where.left.var == "R"
+        assert q.where.right.var == "S"
+
+    def test_overlaps_binds_tighter_than_and(self):
+        q = parse_query(
+            'SELECT R FROM doc("g")[EVERY]/r R, doc("h")[EVERY]/r S '
+            'WHERE R OVERLAPS S AND R/name = "x"'
+        )
+        assert q.where.op == "AND"
+        assert q.where.left.op == "OVERLAPS"
+
+    def test_every_within_qualifier(self):
+        q = parse_query('SELECT R FROM doc("g")[EVERY WITHIN 10 DAYS]/r R')
+        spec = q.from_items[0].time_spec
+        assert isinstance(spec, EveryWithin)
+        assert spec.seconds == 10 * SECONDS_PER_DAY
+        assert spec.label() == "EVERY WITHIN 10 DAYS"
+
+    def test_sequenced_labels_round_trip(self):
+        for text in (
+            'SELECT COALESCE R/name FROM doc("g")[EVERY]/r R',
+            'SELECT MONTH(R), AVG(R/price) FROM doc("g")[EVERY]/r R '
+            "GROUP BY MONTH(R)",
+            'SELECT R FROM doc("g")[EVERY WITHIN 2 WEEKS]/r R',
+            'SELECT R FROM doc("g")[EVERY]/r R, doc("h")[EVERY]/r S '
+            "WHERE R OVERLAPS S",
+        ):
+            q = parse_query(text)
+            assert parse_query(q.label()).label() == q.label()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            # DISTINCT and COALESCE are mutually exclusive row regimes.
+            'SELECT DISTINCT COALESCE R FROM doc("g")/r R',
+            # COALESCE merges rows; aggregates/grouping collapse them.
+            'SELECT COALESCE COUNT(R) FROM doc("g")[EVERY]/r R',
+            'SELECT COALESCE R FROM doc("g")[EVERY]/r R GROUP BY R/name',
+            # Grouping terms must not themselves aggregate.
+            'SELECT COUNT(R) FROM doc("g")[EVERY]/r R GROUP BY COUNT(R)',
+            # GROUP BY over a variable no FROM item binds.
+            'SELECT X/name FROM doc("g")[EVERY]/r R GROUP BY X/name',
+            # Window clause needs an integer amount and a known unit.
+            'SELECT R FROM doc("g")[EVERY WITHIN ten DAYS]/r R',
+            'SELECT R FROM doc("g")[EVERY WITHIN 1.5 DAYS]/r R',
+            'SELECT R FROM doc("g")[EVERY WITHIN 10 PARSECS]/r R',
+            'SELECT R FROM doc("g")[EVERY WITHIN]/r R',
+            # GROUP BY with nothing after it.
+            'SELECT COUNT(R) FROM doc("g")[EVERY]/r R GROUP BY',
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
 
 
 class TestParserErrors:
